@@ -1,0 +1,60 @@
+"""Shared fixtures for the figure/table benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Every benchmark regenerates one figure or table of the paper, writes its
+rows to ``results/<id>.txt``, and asserts the paper's qualitative claims
+(who wins, direction of trends).  ``REPRO_SCALE`` / ``REPRO_CORES`` scale
+the workloads (defaults: 0.3 / 64).
+
+The :class:`WorkloadCache` is session-scoped so runs shared between figures
+(e.g. the Ligra-o baselines used by Figures 9, 10, 11, and 12) are paid for
+once.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, WorkloadCache
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def _bench_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=float(os.environ.get("REPRO_SCALE", "0.3")),
+        cores=int(os.environ.get("REPRO_CORES", "64")),
+    )
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return _bench_config()
+
+
+@pytest.fixture(scope="session")
+def cache(config) -> WorkloadCache:
+    return WorkloadCache(config)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Write a rendered table under results/ and echo it to the terminal."""
+
+    def _record(table) -> None:
+        text = table.render()
+        (results_dir / f"{table.experiment_id}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record

@@ -1,0 +1,75 @@
+"""Figure 4 — Section II motivation measurements."""
+
+from repro.experiments import fig04_motivation
+
+
+def test_fig4a_utilization_breakdown(benchmark, config, cache, record_table):
+    table = benchmark.pedantic(
+        fig04_motivation.run_utilization,
+        args=(config, cache),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table)
+    # Every software system wastes part of its utilization on unnecessary
+    # updates (the stand-ins' shorter chains make the wasted share smaller
+    # than the paper's 78-93%, but it must clearly exist).
+    for row in table.rows:
+        _, system, total, useful, useless, ratio = row
+        assert 0.0 <= useful <= total <= 1.0
+        assert useless > 0.0, f"{system} shows no wasted updates"
+        assert ratio > 1.0, f"{system} should need more updates than u_s"
+    # Ligra-o needs noticeably more updates than the sequential baseline.
+    ligra_o_ratios = [r[5] for r in table.rows if r[1] == "ligra-o"]
+    assert max(ligra_o_ratios) > 1.2
+    # paper: Ligra-o performs at least as well as plain Ligra
+    by_ds = {}
+    for row in table.rows:
+        by_ds.setdefault(row[0], {})[row[1]] = row[3]
+    for dataset, useful in by_ds.items():
+        assert useful["ligra-o"] >= useful["ligra"] * 0.9
+
+
+def test_fig4b_thread_scaling(benchmark, config, cache, record_table):
+    table = benchmark.pedantic(
+        fig04_motivation.run_thread_scaling,
+        args=(config, cache),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table)
+    cycles = table.column("cycles")
+    # more threads -> faster (paper Figure 4b)
+    assert cycles[-1] < cycles[0]
+    updates = table.column("updates")
+    # ...but not fewer updates: parallelism adds waste, never removes it
+    assert updates[-1] >= updates[0] * 0.9
+
+
+def test_fig4c_round_activity(benchmark, config, cache, record_table):
+    table = benchmark.pedantic(
+        fig04_motivation.run_round_activity,
+        args=(config, cache),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table)
+    ratios = table.column("active_ratio")
+    assert len(ratios) >= 3
+    # activity decays as vertices converge (compare early vs late rounds)
+    assert ratios[-1] < ratios[0]
+
+
+def test_fig4d_top_k_propagations(benchmark, config, cache, record_table):
+    table = benchmark.pedantic(
+        fig04_motivation.run_top_k_paths,
+        args=(config, cache),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table)
+    for row in table.rows:
+        ratios = list(row[1:])
+        # monotone in k, and a small top share already covers much traffic
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 0.3

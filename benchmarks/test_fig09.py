@@ -1,0 +1,28 @@
+"""Figure 9 — execution-time breakdown."""
+
+from repro.experiments import fig09_breakdown
+from repro.experiments.common import geometric_mean
+
+
+def test_fig9_breakdown(benchmark, config, cache, record_table):
+    table = benchmark.pedantic(
+        fig09_breakdown.run, args=(config, cache), rounds=1, iterations=1
+    )
+    record_table(table)
+
+    speedups = {}
+    other_frac = {}
+    for row in table.rows:
+        _, _, system, *_rest = row
+        speedups.setdefault(system, []).append(row[7])
+        other_frac.setdefault(system, []).append(row[6])
+
+    # DepGraph-H wins over Ligra-o on (geomean) every algorithm/dataset mix.
+    assert geometric_mean(speedups["depgraph-h"]) > 1.5
+    # DepGraph-H always beats DepGraph-S: the engine removes the software
+    # traversal/hub-maintenance overhead.
+    h = geometric_mean(speedups["depgraph-h"])
+    s = geometric_mean(speedups["depgraph-s"])
+    assert h > s
+    # DepGraph-S is dominated by other time (paper: 57.9-95%).
+    assert min(other_frac["depgraph-s"]) > 0.5

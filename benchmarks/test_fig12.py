@@ -1,0 +1,20 @@
+"""Figure 12 — utilization breakdown across all systems."""
+
+from repro.experiments import fig12_utilization
+
+
+def test_fig12_utilization(benchmark, config, cache, record_table):
+    table = benchmark.pedantic(
+        fig12_utilization.run, args=(config, cache), rounds=1, iterations=1
+    )
+    record_table(table)
+
+    useful = {}
+    for dataset, system, total, r_e, r_u in table.rows:
+        assert 0.0 <= r_e <= total <= 1.0 + 1e-9
+        useful.setdefault(system, []).append(r_e)
+
+    # DepGraph-H delivers the highest average useful utilization.
+    avg = {system: sum(v) / len(v) for system, v in useful.items()}
+    best = max(avg, key=avg.get)
+    assert best == "depgraph-h", f"expected depgraph-h, got {best}: {avg}"

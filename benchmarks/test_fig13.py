@@ -1,0 +1,23 @@
+"""Figure 13 — scalability with core count."""
+
+from repro.experiments import fig13_scalability
+
+
+def test_fig13_scalability(benchmark, config, cache, record_table):
+    table = benchmark.pedantic(
+        fig13_scalability.run, args=(config, cache), rounds=1, iterations=1
+    )
+    record_table(table)
+
+    depgraph_col = table.column("depgraph-h_cycles")
+    ligra_col = table.column("ligra-o_cycles")
+    # DepGraph-H is the fastest at every core count
+    for row in table.rows:
+        cycles = row[1:-1]
+        assert min(cycles) == cycles[-1], f"depgraph-h not fastest at {row[0]} cores"
+    # and more cores help DepGraph-H itself
+    assert depgraph_col[-1] < depgraph_col[0]
+    # the lead over Ligra-o does not collapse as cores grow
+    first_lead = ligra_col[0] / depgraph_col[0]
+    last_lead = ligra_col[-1] / depgraph_col[-1]
+    assert last_lead > 0.6 * first_lead

@@ -1,0 +1,18 @@
+"""Figure 14 — energy normalized to HATS."""
+
+from repro.experiments import fig14_energy
+
+
+def test_fig14_energy(benchmark, config, cache, record_table):
+    table = benchmark.pedantic(
+        fig14_energy.run, args=(config, cache), rounds=1, iterations=1
+    )
+    record_table(table)
+
+    totals = dict(zip(table.column("system"), table.column("total_norm")))
+    assert abs(totals["hats"] - 1.0) < 1e-9  # normalization anchor
+    # DepGraph-H consumes the least energy of the four accelerators
+    assert totals["depgraph-h"] == min(totals.values())
+    # component breakdown must account for the total
+    for row in table.rows:
+        assert abs(sum(row[2:]) - row[1]) < 1e-6

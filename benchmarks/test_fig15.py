@@ -1,0 +1,20 @@
+"""Figure 15 — HDTL stack-depth sensitivity."""
+
+from repro.experiments import fig15_stack_depth
+
+
+def test_fig15_stack_depth(benchmark, config, cache, record_table):
+    table = benchmark.pedantic(
+        fig15_stack_depth.run, args=(config, cache), rounds=1, iterations=1
+    )
+    record_table(table)
+
+    norms = dict(zip(table.column("stack_depth"), table.column("norm_to_depth10")))
+    # flat beyond depth 10 (paper's claim): 20 and 40 within 15% of 10
+    assert abs(norms[20] - 1.0) < 0.15
+    assert abs(norms[40] - 1.0) < 0.15
+    # a depth-2 stack splits chains constantly and cannot be much faster
+    assert norms[2] > 0.9
+    # deeper stacks cost silicon: the area model grows monotonically
+    areas = table.column("stack_area_mm2")
+    assert areas == sorted(areas)

@@ -1,0 +1,42 @@
+"""Figures 16(a), 16(b), and 17 — cache sensitivity."""
+
+from repro.experiments import fig16_cache
+
+
+def test_fig16a_llc_size(benchmark, config, record_table):
+    table = benchmark.pedantic(
+        fig16_cache.run_llc_size, args=(config,), rounds=1, iterations=1
+    )
+    record_table(table)
+    # DepGraph-H is fastest at every LLC size
+    for row in table.rows:
+        _, ligra, hats, depgraph = row
+        assert depgraph < ligra
+        assert depgraph < hats
+    # a bigger LLC never hurts DepGraph-H much
+    depgraph_col = table.column("depgraph-h_cycles")
+    assert depgraph_col[-1] <= depgraph_col[0] * 1.1
+
+
+def test_fig16b_llc_policy(benchmark, config, record_table):
+    table = benchmark.pedantic(
+        fig16_cache.run_llc_policy, args=(config,), rounds=1, iterations=1
+    )
+    record_table(table)
+    norms = dict(zip(table.column("policy"), table.column("norm_to_lru")))
+    # paper: DRRIP beats LRU, GRASP best — allow small-noise ties
+    assert norms["drrip"] <= 1.05
+    assert norms["grasp"] <= norms["drrip"] * 1.05
+
+
+def test_fig17_l2_size(benchmark, config, record_table):
+    table = benchmark.pedantic(
+        fig16_cache.run_l2_size, args=(config,), rounds=1, iterations=1
+    )
+    record_table(table)
+    for row in table.rows:
+        _, ligra, hats, depgraph = row
+        assert depgraph < ligra
+    # larger L2 helps DepGraph-H (prefetched lines live in L2)
+    depgraph_col = table.column("depgraph-h_cycles")
+    assert depgraph_col[-1] <= depgraph_col[0]

@@ -1,0 +1,25 @@
+"""Figure 18 — hub-parameter (lambda, beta) sensitivity."""
+
+from repro.experiments import fig18_lambda_beta
+
+
+def test_fig18_lambda_beta(benchmark, config, cache, record_table):
+    table = benchmark.pedantic(
+        fig18_lambda_beta.run, args=(config, cache), rounds=1, iterations=1
+    )
+    record_table(table)
+
+    lambda_rows = [row for row in table.rows if row[1] == 0.001]
+    cycles = [row[2] for row in lambda_rows]
+    entries = [row[3] for row in lambda_rows]
+    # more hubs -> a larger hub index overall (the cost side of the
+    # tradeoff; not strictly monotone because core-vertex promotion is
+    # capped relative to the hub count)
+    assert entries[-1] > entries[0]
+    # the extreme lambda must not be the best setting (tradeoff exists)
+    assert cycles[-1] >= min(cycles)
+    # hub-index memory stays a small fraction of the graph footprint
+    graph = cache.graph("FS")
+    graph_bytes = (graph.num_edges * 16) + (graph.num_vertices * 24)
+    default_row = next(row for row in lambda_rows if row[0] == 0.005)
+    assert default_row[4] < 0.2 * graph_bytes

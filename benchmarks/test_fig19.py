@@ -1,0 +1,21 @@
+"""Figure 19 + Table V — Zipfian skew sweep."""
+
+from repro.experiments import fig19_skew
+
+
+def test_fig19_skew(benchmark, config, record_table):
+    table = benchmark.pedantic(
+        fig19_skew.run, args=(config,), rounds=1, iterations=1
+    )
+    record_table(table)
+
+    alphas = table.column("alpha")
+    edges = table.column("edges")
+    speedups = table.column("depgraph_speedup")
+    # Table V: edge count falls as alpha rises
+    assert edges == sorted(edges, reverse=True)
+    # DepGraph-H wins at every skew level
+    assert min(speedups) > 1.0
+    # paper: heavier skew (lower alpha) favours DepGraph — the advantage at
+    # the most skewed point beats the advantage at the least skewed point
+    assert speedups[0] > speedups[-1] * 0.8

@@ -1,0 +1,41 @@
+"""Tables III and IV plus the preprocessing-overhead measurement."""
+
+from repro.experiments import preprocessing, table03_datasets, table04_area
+
+
+def test_table3_datasets(benchmark, config, cache, record_table):
+    table = benchmark.pedantic(
+        table03_datasets.run, args=(config, cache), rounds=1, iterations=1
+    )
+    record_table(table)
+    stats = {row[0]: row for row in table.rows}
+    # degree ranking preserved: GL and OK dense, AZ sparse
+    assert stats["GL"][3] > stats["AZ"][3]
+    assert stats["OK"][3] > stats["AZ"][3]
+    # diameter ranking preserved: AZ has the longest diameter of the suite
+    assert stats["AZ"][4] == max(row[4] for row in table.rows)
+
+
+def test_table4_area(benchmark, record_table):
+    table = benchmark.pedantic(table04_area.run, rounds=1, iterations=1)
+    record_table(table)
+    rows = {row[0]: row for row in table.rows}
+    # the modelled DepGraph cost lands on the paper's figures
+    assert abs(rows["DepGraph"][1] - 0.011) < 0.001  # mm^2
+    assert abs(rows["DepGraph"][2] - 0.61) < 0.05  # % core
+    assert abs(rows["DepGraph"][4] - 0.29) < 0.02  # % TDP
+    # ordering: Minnow largest, HATS smallest (paper Table IV)
+    assert rows["Minnow"][1] == max(r[1] for r in table.rows)
+    assert rows["HATS"][1] == min(r[1] for r in table.rows)
+
+
+def test_preprocessing_overhead(benchmark, config, cache, record_table):
+    table = benchmark.pedantic(
+        preprocessing.run, args=(config, cache), rounds=1, iterations=1
+    )
+    record_table(table)
+    overheads = table.column("overhead_pct")
+    # hub discovery adds bounded overhead over plain partitioning; the
+    # paper reports <= 9.2% on top of a full preprocessing pipeline — our
+    # pipeline is only the partitioner, so allow a looser bound.
+    assert all(o < 400.0 for o in overheads)

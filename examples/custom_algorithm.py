@@ -1,0 +1,105 @@
+"""Defining a custom algorithm against the public GAS API.
+
+Implements *most reliable path* — the probability that a message survives
+from a source to each vertex when every edge succeeds with probability
+``w / (w + 1)`` — as a user-defined algorithm:
+
+* ``Accum = max`` (keep the most reliable route),
+* ``EdgeCompute = value * reliability(edge)`` — a linear expression, so the
+  DepGraph Accum probe classifies it as min/max-transformable and the hub
+  index builds multiplicative shortcuts automatically.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import runtime
+from repro.algorithms import detect_accum_kind, supports_transformation
+from repro.algorithms.base import MaxAlgorithm
+from repro.algorithms.linear import DepFunc
+from repro.graph import datasets
+from repro.hardware import HardwareConfig
+
+
+def edge_reliability(weight: float) -> float:
+    return weight / (weight + 1.0)
+
+
+class MostReliablePath(MaxAlgorithm):
+    """Max-product path reliability from a source vertex."""
+
+    name = "reliable-path"
+    needs_weights = True
+
+    def __init__(self, source: int = 0) -> None:
+        self.source = source
+
+    def initial_state(self, v, graph) -> float:
+        return -math.inf
+
+    def initial_delta(self, v, graph) -> float:
+        return 1.0 if v == self.source else -math.inf
+
+    def edge_compute(self, source, value, weight, graph) -> float:
+        return value * edge_reliability(weight)
+
+    def edge_linear(self, source, weight, graph) -> DepFunc:
+        return DepFunc(edge_reliability(weight), 0.0)
+
+
+def reference_reliability(graph, source):
+    """Max-product Dijkstra for validation."""
+    import heapq
+
+    best = np.full(graph.num_vertices, -math.inf)
+    best[source] = 1.0
+    heap = [(-1.0, source)]
+    while heap:
+        neg, v = heapq.heappop(heap)
+        if -neg < best[v]:
+            continue
+        begin, end = graph.edge_range(v)
+        for e in range(begin, end):
+            t = int(graph.targets[e])
+            cand = -neg * edge_reliability(graph.edge_weight(e))
+            if cand > best[t]:
+                best[t] = cand
+                heapq.heappush(heap, (-cand, t))
+    return best
+
+
+def main() -> None:
+    graph = datasets.load("PK", scale=0.4)
+    hardware = HardwareConfig.scaled(num_cores=16)
+    algorithm = MostReliablePath(source=0)
+
+    print(f"graph: {graph}")
+    print(f"accum kind detected by the DEP_configure probe: "
+          f"{detect_accum_kind(algorithm).value}")
+    print(f"dependency transformation applicable: "
+          f"{supports_transformation(algorithm)}")
+
+    result = runtime.run("depgraph-h", graph, algorithm, hardware)
+    expected = reference_reliability(graph, 0)
+    both = np.isinf(result.states) & np.isinf(expected)
+    err = np.max(np.abs(np.where(both, 0.0, result.states - expected)))
+    assert err < 1e-9, f"diverged: {err}"
+
+    baseline = runtime.run("ligra-o", graph, MostReliablePath(0), hardware)
+    print(f"\ncustom algorithm verified against max-product Dijkstra "
+          f"(max err {err:.1e})")
+    print(f"DepGraph-H: {result.cycles:.0f} cycles "
+          f"({result.speedup_over(baseline):.2f}x vs Ligra-o)")
+    print(f"hub index entries built for the custom algorithm: "
+          f"{result.hub_index_entries}")
+
+    reachable = result.states[~np.isinf(result.states)]
+    print(f"\nreliability to reachable vertices: "
+          f"min {reachable.min():.3e}, median {np.median(reachable):.3e}")
+
+
+if __name__ == "__main__":
+    main()

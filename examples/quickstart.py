@@ -1,0 +1,57 @@
+"""Quickstart: run one algorithm under several systems and compare.
+
+Builds a LiveJournal-like stand-in graph, runs single-source shortest path
+under the optimized software baseline (Ligra-o) and under DepGraph-H, checks
+both against a reference Dijkstra, and prints the headline comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import algorithms, runtime
+from repro.algorithms import reference
+from repro.graph import datasets
+from repro.hardware import HardwareConfig
+
+
+def main() -> None:
+    graph = datasets.load("LJ", scale=0.4)
+    print(f"graph: {graph}")
+
+    hardware = HardwareConfig.scaled(num_cores=32)
+    source = 0
+
+    baseline = runtime.run("ligra-o", graph, algorithms.SSSP(source), hardware)
+    depgraph = runtime.run("depgraph-h", graph, algorithms.SSSP(source), hardware)
+
+    # both must agree with Dijkstra
+    expected = reference.sssp(graph, source)
+    for result in (baseline, depgraph):
+        both_inf = np.isinf(result.states) & np.isinf(expected)
+        err = np.max(np.abs(np.where(both_inf, 0.0, result.states - expected)))
+        assert err < 1e-9, f"{result.system} diverged: {err}"
+
+    print(f"\n{'system':12s} {'cycles':>12s} {'updates':>9s} {'rounds':>7s}")
+    for result in (baseline, depgraph):
+        print(
+            f"{result.system:12s} {result.cycles:12.0f} "
+            f"{result.total_updates:9d} {result.rounds:7d}"
+        )
+    print(
+        f"\nDepGraph-H speedup over Ligra-o: "
+        f"{depgraph.speedup_over(baseline):.2f}x"
+    )
+    print(
+        f"update reduction: "
+        f"{1 - depgraph.total_updates / baseline.total_updates:.1%}"
+    )
+    print(
+        f"hub index: {depgraph.hub_index_entries} entries, "
+        f"{depgraph.hub_index_bytes} bytes, "
+        f"{depgraph.shortcut_applications} shortcut applications"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Shortest paths on a road-network-like mesh.
+
+Mesh graphs have no high-degree hubs, so the hub index has nothing to work
+with — the degree threshold picks arbitrary grid vertices and the index
+entries cost probes without ever short-cutting anything useful.  This is
+exactly the case where the paper prescribes DepGraph-H-w (hub index
+disabled, Section IV-A: "mesh-like graphs can also benefit from
+DepGraph-H"): the win comes from dependency-chain prefetching alone.  This
+example runs SSSP over a weighted grid comparing Ligra-o, DepGraph-H, and
+DepGraph-H-w — the right configuration for road networks.
+
+Run:  python examples/road_navigation.py
+"""
+
+import numpy as np
+
+from repro import algorithms, runtime
+from repro.algorithms import reference
+from repro.graph import generators
+from repro.hardware import HardwareConfig
+
+
+def main() -> None:
+    # a 40x40 city grid with travel-time weights
+    graph = generators.grid_mesh(40, 40, seed=3, weighted=True)
+    hardware = HardwareConfig.scaled(num_cores=32)
+    source = 0
+    print(f"road mesh: {graph} (diameter ~{40 + 40} hops)")
+
+    expected = reference.sssp(graph, source)
+    rows = []
+    for system in ("ligra-o", "depgraph-h", "depgraph-h-w"):
+        result = runtime.run(system, graph, algorithms.SSSP(source), hardware)
+        err = np.max(np.abs(result.states - expected))
+        assert err < 1e-9, f"{system} diverged"
+        rows.append(result)
+
+    base = rows[0]
+    print(f"\n{'system':14s} {'cycles':>12s} {'updates':>9s} "
+          f"{'rounds':>7s} {'speedup':>8s}")
+    for result in rows:
+        print(
+            f"{result.system:14s} {result.cycles:12.0f} "
+            f"{result.total_updates:9d} {result.rounds:7d} "
+            f"{result.speedup_over(base):8.2f}"
+        )
+
+    corner = graph.num_vertices - 1
+    print(f"\ntravel time to far corner: {expected[corner]:.2f}")
+    print(
+        "note: mesh graphs have no meaningful hubs — the hub index "
+        f"({rows[1].hub_index_entries} entries) only adds probe cost, so "
+        "depgraph-h-w (hub index disabled) is the right configuration here; "
+        "its win comes from chain-ordered propagation + engine prefetch"
+    )
+
+
+if __name__ == "__main__":
+    main()

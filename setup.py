@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships a setuptools without the ``wheel`` package, so
+PEP 660 editable installs fail; this shim lets ``pip install -e .`` fall back
+to the legacy develop-install path (``--no-use-pep517`` also works).  All
+real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

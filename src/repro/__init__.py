@@ -1,0 +1,45 @@
+"""repro — a reproduction of DepGraph (HPCA 2021).
+
+DepGraph is a dependency-driven programmable accelerator that couples with
+each core of a many-core processor to speed up iterative graph processing:
+it prefetches vertices along dependency chains for asynchronous chain-order
+processing, and maintains a *hub index* of direct dependencies (linear
+shortcuts between high-degree vertices) that lets most state propagations
+skip long graph paths and run in parallel.
+
+Quickstart::
+
+    from repro import algorithms, runtime
+    from repro.graph import datasets
+
+    graph = datasets.load("LJ", scale=0.5)
+    result = runtime.run("depgraph-h", graph, algorithms.SSSP(source=0))
+    baseline = runtime.run("ligra-o", graph, algorithms.SSSP(source=0))
+    print(f"speedup: {result.speedup_over(baseline):.1f}x")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure and table.
+"""
+
+from . import accel, algorithms, graph, hardware, runtime
+from .graph import CSRGraph, datasets, generators
+from .hardware import HardwareConfig
+from .runtime import ExecutionResult, run, run_many
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "accel",
+    "algorithms",
+    "graph",
+    "hardware",
+    "runtime",
+    "CSRGraph",
+    "datasets",
+    "generators",
+    "HardwareConfig",
+    "ExecutionResult",
+    "run",
+    "run_many",
+    "__version__",
+]

@@ -1,0 +1,122 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro run --system depgraph-h --dataset LJ --algorithm sssp
+    python -m repro compare --dataset FS --algorithm pagerank --scale 0.4
+    python -m repro experiment fig11
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from . import algorithms, runtime
+from .graph import datasets
+from .hardware import HardwareConfig
+
+EXPERIMENT_MODULES = {
+    "fig4": "fig04_motivation",
+    "fig9": "fig09_breakdown",
+    "fig10": "fig10_updates",
+    "fig11": "fig11_speedup",
+    "fig12": "fig12_utilization",
+    "fig13": "fig13_scalability",
+    "fig14": "fig14_energy",
+    "fig15": "fig15_stack_depth",
+    "fig16": "fig16_cache",
+    "fig17": "fig16_cache",
+    "fig18": "fig18_lambda_beta",
+    "fig19": "fig19_skew",
+    "table3": "table03_datasets",
+    "table4": "table04_area",
+    "preprocessing": "preprocessing",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DepGraph (HPCA 2021) reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one system on one workload")
+    run_p.add_argument("--system", default="depgraph-h", choices=runtime.SYSTEM_NAMES)
+    run_p.add_argument("--dataset", default="LJ", choices=datasets.DATASET_NAMES)
+    run_p.add_argument(
+        "--algorithm",
+        default="sssp",
+        choices=sorted({**algorithms.PAPER_ALGORITHMS, **algorithms.EXTENSION_ALGORITHMS}),
+    )
+    run_p.add_argument("--scale", type=float, default=0.35)
+    run_p.add_argument("--cores", type=int, default=64)
+
+    cmp_p = sub.add_parser("compare", help="run every system on one workload")
+    cmp_p.add_argument("--dataset", default="LJ", choices=datasets.DATASET_NAMES)
+    cmp_p.add_argument("--algorithm", default="sssp")
+    cmp_p.add_argument("--scale", type=float, default=0.35)
+    cmp_p.add_argument("--cores", type=int, default=64)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a figure/table")
+    exp_p.add_argument("name", choices=sorted(EXPERIMENT_MODULES))
+
+    sub.add_parser("list", help="list systems, algorithms, datasets")
+    return parser
+
+
+def _print_result(result) -> None:
+    print(
+        f"{result.system:14s} cycles={result.cycles:12.0f} "
+        f"updates={result.total_updates:8d} rounds={result.rounds:5d} "
+        f"util={result.utilization():.2f} converged={result.converged}"
+    )
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        print("systems:   ", ", ".join(runtime.SYSTEM_NAMES))
+        print(
+            "algorithms:",
+            ", ".join(
+                sorted(
+                    {**algorithms.PAPER_ALGORITHMS, **algorithms.EXTENSION_ALGORITHMS}
+                )
+            ),
+        )
+        print("datasets:  ", ", ".join(datasets.DATASET_NAMES))
+        print("experiments:", ", ".join(sorted(EXPERIMENT_MODULES)))
+        return 0
+    if args.command == "experiment":
+        module = importlib.import_module(
+            f".experiments.{EXPERIMENT_MODULES[args.name]}", package=__package__
+        )
+        module.main()
+        return 0
+
+    graph = datasets.load(args.dataset, scale=args.scale)
+    algorithm = algorithms.make(args.algorithm)
+    hardware = HardwareConfig.scaled(num_cores=args.cores)
+    print(f"dataset {args.dataset}: {graph}")
+    if args.command == "run":
+        _print_result(runtime.run(args.system, graph, algorithm, hardware))
+        return 0
+    # compare
+    base = None
+    for system in runtime.SYSTEM_NAMES:
+        result = runtime.run(
+            system, graph, algorithms.make(args.algorithm), hardware
+        )
+        if system == "ligra-o":
+            base = result
+        _print_result(result)
+    if base is not None:
+        print(f"\n(baseline for speedups: ligra-o @ {base.cycles:.0f} cycles)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Accelerator models: DepGraph plus the HATS / Minnow / PHI baselines."""
+
+from . import depgraph
+from .hats import HATSScheduler, PrefetchTimeline
+from .minnow import MinnowWorklist
+from .phi import PHIUpdateBuffer
+
+__all__ = [
+    "depgraph",
+    "HATSScheduler",
+    "PrefetchTimeline",
+    "MinnowWorklist",
+    "PHIUpdateBuffer",
+]

@@ -1,0 +1,125 @@
+"""The Direct Dependency Management Unit (DDMU).
+
+The DDMU generates and maintains the hub index at run time (Figure 7, step
+(3)): when HDTL identifies a core-path, the DDMU creates/updates the
+corresponding entry; when a root vertex in H'' is popped, the DDMU probes the
+hub index and hands usable shortcuts to the core.
+
+Two generation modes:
+
+* ``analytic`` — compose the per-edge linear coefficients along the recorded
+  path (Equation 4); exact, and the default for this reproduction.
+* ``learned`` — the paper's hardware scheme: snapshot (s_head, s_tail) after
+  each processing of the core-path and solve the two-observation linear
+  system (N -> I -> A flags).  Approximate when multiple paths influence the
+  tail concurrently, exactly as in the hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ...algorithms.base import Algorithm
+from ...algorithms.detect import AccumKind, detect_accum_kind, supports_transformation
+from ...algorithms.linear import DepFunc, compose_path
+from ...graph.csr import CSRGraph
+from .hub_index import HubIndex, HubIndexEntry
+
+
+class DDMU:
+    """One DDMU instance; all engines share one hub index (the whole hub
+    index is 'maintained in the memory by all DepGraph engines across
+    different cores and reused by them', Section III-B)."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        algorithm: Algorithm,
+        hub_index: HubIndex,
+        mode: str = "analytic",
+    ) -> None:
+        if mode not in ("analytic", "learned"):
+            raise ValueError(f"unknown DDMU mode {mode!r}")
+        self.graph = graph
+        self.algorithm = algorithm
+        self.hub_index = hub_index
+        self.mode = mode
+        self.accum_kind = detect_accum_kind(algorithm)
+        #: dependency transformation availability (the DEP_configure probe)
+        self.enabled = supports_transformation(algorithm)
+        #: operation counter for timing/energy accounting
+        self.ops = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def needs_reset_edge(self) -> bool:
+        """Sum-type Accum receives the shortcut influence twice and needs the
+        fictitious reset edge; min/max is idempotent (Section III-B2)."""
+        return self.accum_kind is AccumKind.SUM
+
+    # ------------------------------------------------------------------
+    def _compose(self, path: Sequence[int]) -> Optional[DepFunc]:
+        """Analytic composition of the per-edge functions along ``path``."""
+        funcs = []
+        for hop in range(len(path) - 1):
+            src = path[hop]
+            dst = path[hop + 1]
+            weight = self._edge_weight(src, dst)
+            func = self.algorithm.edge_linear(src, weight, self.graph)
+            if func is None:
+                return None
+            funcs.append(func)
+        return compose_path(funcs)
+
+    def _edge_weight(self, src: int, dst: int) -> float:
+        begin, end = self.graph.edge_range(src)
+        targets = self.graph.targets[begin:end]
+        # CSR targets are sorted per source; binary-search the edge index.
+        idx = int(np.searchsorted(targets, dst))
+        if idx >= targets.size or targets[idx] != dst:
+            raise ValueError(f"edge <{src}, {dst}> not present")
+        return self.graph.edge_weight(begin + idx)
+
+    # ------------------------------------------------------------------
+    def core_path_identified(self, path: Sequence[int]) -> Optional[HubIndexEntry]:
+        """Called by HDTL whenever a traversal runs from one H'' vertex to
+        another; creates (or refreshes) the hub-index entry for the path."""
+        if not self.enabled or len(path) < 2:
+            return None
+        self.ops += 1
+        head, tail = int(path[0]), int(path[-1])
+        path_id = int(path[1])  # the second vertex identifies the core-path
+        entry = self.hub_index.get(head, tail, path_id)
+        if entry is not None:
+            return entry
+        func = self._compose(path) if self.mode == "analytic" else None
+        return self.hub_index.insert(head, tail, path_id, tuple(path), func)
+
+    def path_processed(
+        self, entry: HubIndexEntry, s_head: float, s_tail: float
+    ) -> None:
+        """Learned-mode observation hook, called after the core finishes
+        processing the core-path in a round."""
+        if self.mode != "learned" or entry is None:
+            return
+        self.ops += 1
+        self.hub_index.observe(entry, s_head, s_tail)
+
+    # ------------------------------------------------------------------
+    def shortcuts_for(self, root: int) -> List[HubIndexEntry]:
+        """Usable shortcuts originating at ``root`` (hash probe + entry
+        reads; timing is charged by the engine)."""
+        if not self.enabled:
+            return []
+        self.ops += 1
+        return self.hub_index.lookup_head(root)
+
+    def shortcut_influence(
+        self, entry: HubIndexEntry, propagated_value: float
+    ) -> float:
+        """Evaluate ``f_(head, tail)`` on the value the head propagates."""
+        self.ops += 1
+        assert entry.func is not None
+        return entry.func(propagated_value)

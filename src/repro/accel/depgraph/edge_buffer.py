@@ -1,0 +1,87 @@
+"""The FIFO edge buffer between HDTL and the core (Figure 7).
+
+HDTL pushes prefetched edges (plus the states of the edge's endpoints); the
+core pops them via the ``DEP_FETCH_EDGE`` instruction.  The buffer holds 4.8
+Kbit = 24 entries of ~200 bits; its capacity bounds how far the engine can
+run ahead of the core, which the timing model enforces via per-entry ready
+times.
+
+Fictitious reset edges (source id -1, Section III-B2) ride the same FIFO: at
+the end of a prefetched core-path they carry the shortcut influence that must
+be taken away from the tail vertex of a sum-type algorithm.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+#: the fake source vertex id of fictitious reset edges
+FICTITIOUS_SOURCE = -1
+
+#: default capacity: 4.8 Kbit / ~200 bits per entry
+DEFAULT_CAPACITY = 24
+
+
+@dataclass(frozen=True)
+class PrefetchedEdge:
+    """One FIFO entry: the edge, its weight, and engine timing metadata."""
+
+    source: int
+    target: int
+    weight: float
+    #: engine cycle time at which the entry is available to the core
+    ready_time: float = 0.0
+    #: reset payload for fictitious edges (f(s) to subtract at the target)
+    reset_value: Optional[float] = None
+
+    @property
+    def is_fictitious(self) -> bool:
+        return self.source == FICTITIOUS_SOURCE
+
+
+class FIFOEdgeBuffer:
+    """Bounded FIFO with occupancy/stall statistics."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Deque[PrefetchedEdge] = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def push(self, edge: PrefetchedEdge) -> bool:
+        """Append an entry; returns False (and counts a stall) when full."""
+        if self.full:
+            self.full_stalls += 1
+            return False
+        self._entries.append(edge)
+        self.pushes += 1
+        return True
+
+    def pop(self) -> PrefetchedEdge:
+        """DEP_FETCH_EDGE: remove and return the oldest entry."""
+        if not self._entries:
+            raise IndexError("edge buffer empty")
+        self.pops += 1
+        return self._entries.popleft()
+
+    def peek(self) -> Optional[PrefetchedEdge]:
+        return self._entries[0] if self._entries else None
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,158 @@
+"""The per-core DepGraph engine (Figure 6/7).
+
+One engine couples with each core: it owns the local circular queue, the
+HDTL walker, the FIFO edge buffer window, and a handle to the shared DDMU /
+hub index.  The engine has its *own timeline*: memory fetches issued by HDTL
+advance ``engine.time`` while the core's cycles advance separately, and the
+core only stalls when it tries to consume an edge the engine has not
+finished fetching (or when the bounded FIFO forces the engine to wait for
+the core).  That producer-consumer overlap is precisely the hardware's
+benefit over DepGraph-S, where the same walk runs on the core's own
+timeline with software bookkeeping costs.
+
+``DEP_configure`` / ``DEP_fetch_edge`` — the paper's two low-level APIs —
+map to :meth:`configure` and the runtime's consumption of
+:class:`~repro.accel.depgraph.hdtl.EdgeFetch` events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque
+
+from ...graph.csr import CSRGraph
+from ...graph.partition import Partition
+from ...hardware.hierarchy import MemorySystem
+from ...hardware.layout import MemoryLayout
+from .edge_buffer import DEFAULT_CAPACITY
+from .hdtl import FETCH_NEIGHBOR, FETCH_OFFSET, FETCH_STATE, FETCH_WEIGHT, HDTL
+from .queue import LocalCircularQueue
+
+
+@dataclass
+class EngineConfig:
+    """The DEP_configure() payload (Section III-B2 'Initialization')."""
+
+    partition: Partition
+    stack_depth: int = 10
+    buffer_capacity: int = DEFAULT_CAPACITY
+
+
+#: cycles of engine occupancy to issue one fetch (pipeline slot)
+ISSUE_CYCLES = 2
+#: memory-level parallelism of the engine's fetch pipeline: the four HDTL
+#: stages keep several line fetches outstanding, so per-fetch occupancy is
+#: latency / MLP rather than the full round-trip
+ENGINE_MLP = 4
+
+
+class DepGraphEngine:
+    """One core's engine: timeline, queue, HDTL, and fetch accounting."""
+
+    def __init__(
+        self,
+        core: int,
+        graph: CSRGraph,
+        memsys: MemorySystem,
+        layout: MemoryLayout,
+        hub_membership: Callable[[int], bool],
+        config: EngineConfig,
+    ) -> None:
+        self.core = core
+        self.graph = graph
+        self.memsys = memsys
+        self.layout = layout
+        self.config = config
+        self.queue = LocalCircularQueue(core)
+        self.time = 0.0
+        self.ops = 0
+        self.stall_cycles = 0.0
+        self._window: Deque[float] = deque()
+        self.hdtl = HDTL(
+            graph,
+            hub_membership,
+            stack_depth=config.stack_depth,
+            fetch=self._charge_fetch,
+        )
+
+    # ------------------------------------------------------------------
+    def configure(self, config: EngineConfig) -> None:
+        """DEP_configure(): convey array bases/sizes, partition bounds, the
+        H'' bitmap, and the circular-queue location.  The model re-points
+        the walker; the memory-mapped register writes cost a handful of
+        engine cycles."""
+        self.config = config
+        self.hdtl.stack_depth = config.stack_depth
+        self.time += 8  # register-write cost
+        self.ops += 1
+
+    # ------------------------------------------------------------------
+    # Timeline plumbing.
+    # ------------------------------------------------------------------
+    def sync_to(self, core_time: float) -> None:
+        """The engine starts a root no earlier than the core popped it."""
+        if core_time > self.time:
+            self.time = core_time
+
+    def _charge_fetch(self, kind: str, index: int) -> None:
+        """HDTL fetch callback: one CSR-array access on the engine timeline
+        (the engine 'issues the instructions to access the data from the L2
+        cache', Section III-B)."""
+        if len(self._window) >= self.config.buffer_capacity:
+            # FIFO full: the engine waits for the core to drain an entry.
+            release = self._window.popleft()
+            if release > self.time:
+                self.stall_cycles += release - self.time
+                self.time = release
+        layout = self.layout
+        if kind == FETCH_OFFSET:
+            addrs = (layout.offsets.addr(index),)
+        elif kind == FETCH_NEIGHBOR:
+            addrs = (layout.targets.addr(index),)
+        elif kind == FETCH_WEIGHT:
+            addrs = (layout.weights.addr(index),)
+        elif kind == FETCH_STATE:
+            # the "vertex state arrays" of Figure 2 are the recent-state and
+            # delta arrays; the engine fetches both for the edge's target
+            addrs = (layout.states.addr(index), layout.deltas.addr(index))
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown fetch kind {kind!r}")
+        for addr in addrs:
+            latency = self.memsys.access(self.core, addr, now=self.time)
+            self.time += ISSUE_CYCLES + latency / ENGINE_MLP
+            self.ops += 1
+
+    def edge_ready_time(self) -> float:
+        """When the entry most recently pushed to the FIFO becomes poppable."""
+        return self.time
+
+    def note_consumed(self, core_time: float) -> None:
+        """The core popped one FIFO entry at ``core_time``."""
+        self._window.append(core_time)
+
+    # ------------------------------------------------------------------
+    # Hub-index access timing (DDMU-issued memory traffic).
+    # ------------------------------------------------------------------
+    def charge_hub_probe(self, root: int, entry_count: int) -> None:
+        """Hash-table probe plus reading ``entry_count`` index entries."""
+        layout = self.layout
+        self.time += self.memsys.access(self.core, layout.hub_hash_addr(root))
+        for i in range(entry_count):
+            self.time += self.memsys.access(
+                self.core, layout.hub_index_addr((root * 7 + i))
+            )
+        self.ops += 1 + entry_count
+
+    def charge_hub_insert(self) -> None:
+        """Writing one new hub-index entry through the L2 (Section III-B)."""
+        self.time += self.memsys.access(
+            self.core, self.layout.hub_index_addr(len(self._window) + self.ops), write=True
+        )
+        self.ops += 2  # solve + store
+
+    def charge_queue_op(self, write: bool = False) -> None:
+        self.time += self.memsys.access(
+            self.core, self.layout.queues.addr(self.core % self.layout.queues.length), write
+        )
+        self.ops += 1

@@ -1,0 +1,176 @@
+"""Hardware Dependency-aware Traveler Logic (HDTL) — Figure 7.
+
+HDTL walks the graph depth-first from a root vertex using a fixed-depth
+stack, fetching edges along dependency chains.  Each traversal pipeline
+iteration runs the paper's four stages — Get_Root, Fetch_Offsets,
+Fetch_Neighbors, Fetch_States — and outputs one edge (with the endpoint
+states) into the FIFO edge buffer.
+
+A traversal path ends when (Section III-B2):
+
+* the fetched vertex belongs to H'' (a hub/core vertex) — if the root is
+  also in H'', the walked segment is a *core-path* and is reported so the
+  DDMU can create its hub-index entry;
+* the fixed-depth stack is full (the chain is split; the frontier vertex
+  becomes a new root);
+* no unvisited vertex can be fetched from the current branch.
+
+The class is execution-agnostic: it is a generator that yields
+:class:`EdgeFetch` events and receives back the core's *descend* decision
+(whether the destination was significantly updated and should be explored),
+and yields :class:`PathEnd` events for bookkeeping.  Memory timing is charged
+through the ``fetch`` callback so the same walker serves both DepGraph-S
+(core pays software costs) and DepGraph-H (engine timeline pays them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional, Set, Tuple, Union
+
+from ...graph.csr import CSRGraph
+
+#: fetch-callback access kinds (map to the CSR arrays of Figure 8)
+FETCH_OFFSET = "offset"
+FETCH_NEIGHBOR = "neighbor"
+FETCH_WEIGHT = "weight"
+FETCH_STATE = "state"
+
+
+@dataclass(frozen=True)
+class EdgeFetch:
+    """One prefetched edge handed to the core."""
+
+    source: int
+    target: int
+    weight: float
+    edge_index: int
+    depth: int
+
+
+@dataclass(frozen=True)
+class PathEnd:
+    """A traversal path terminated.
+
+    ``reason``: ``"hub"`` (reached an H'' vertex) or ``"depth"`` (stack
+    full).  ``path`` runs root..last vertex inclusive; the last vertex was
+    *not* descended into and should be re-enqueued as a new root.
+    """
+
+    path: Tuple[int, ...]
+    reason: str
+
+    @property
+    def endpoint(self) -> int:
+        return self.path[-1]
+
+
+TraversalEvent = Union[EdgeFetch, PathEnd]
+
+
+@dataclass
+class _StackEntry:
+    """Figure 7's stack entry: visited vertex id + current/end offsets of its
+    unvisited edges (the cached neighbour cache-line is folded into the fetch
+    callback's line-granular accounting)."""
+
+    vertex: int
+    cursor: int
+    end: int
+
+
+class HDTL:
+    """The traversal walker for one engine."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        hub_membership: Callable[[int], bool],
+        stack_depth: int = 10,
+        fetch: Optional[Callable[[str, int], None]] = None,
+        in_partition: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        if stack_depth < 1:
+            raise ValueError("stack_depth must be >= 1")
+        self.graph = graph
+        self.hub_membership = hub_membership
+        self.stack_depth = stack_depth
+        self.fetch = fetch or (lambda kind, index: None)
+        #: partition confinement: HDTL only prefetches the edges of its
+        #: core's partition G^m (Section III-B2); a path reaching a vertex
+        #: outside the partition ends there and the endpoint continues as a
+        #: root on its owning core.
+        self.in_partition = in_partition or (lambda vertex: True)
+        #: statistics
+        self.edges_fetched = 0
+        self.paths_ended = 0
+        self.max_depth_seen = 0
+
+    # ------------------------------------------------------------------
+    def traverse(
+        self, root: int, visited: Set[int]
+    ) -> Generator[TraversalEvent, bool, None]:
+        """Walk depth-first from ``root``.
+
+        ``visited`` is the per-round applied-vertex set shared with the
+        runtime; HDTL adds every vertex it descends into (the caller marks
+        the root itself when it applies it).  The generator yields
+        :class:`EdgeFetch` events; the caller must ``send`` back True to
+        descend into the edge's target (i.e. the core applied a significant
+        update there) or False to prune the branch.  :class:`PathEnd` events
+        expect no response.
+        """
+        graph = self.graph
+        visited.add(root)
+        self.fetch(FETCH_OFFSET, root)
+        begin, end = graph.edge_range(root)
+        stack: List[_StackEntry] = [_StackEntry(root, begin, end)]
+        while stack:
+            top = stack[-1]
+            if top.cursor >= top.end:
+                # This branch is exhausted: pop, resume the parent.
+                stack.pop()
+                continue
+            edge_index = top.cursor
+            top.cursor += 1
+            self.fetch(FETCH_NEIGHBOR, edge_index)
+            target = int(graph.targets[edge_index])
+            weight = graph.edge_weight(edge_index)
+            if graph.is_weighted:
+                self.fetch(FETCH_WEIGHT, edge_index)
+            self.fetch(FETCH_STATE, target)
+            self.edges_fetched += 1
+            descend = yield EdgeFetch(
+                top.vertex, target, weight, edge_index, len(stack)
+            )
+            if self.hub_membership(target):
+                # Reached an H'' vertex: the path ends here; the runtime
+                # re-enqueues the endpoint and, when the root is in H'',
+                # reports the segment to the DDMU as a core-path.  HDTL
+                # never descends past hub/core vertices, which keeps
+                # core-paths edge-disjoint (Definition 2).
+                self.paths_ended += 1
+                path = tuple(entry.vertex for entry in stack) + (target,)
+                yield PathEnd(path, "hub")
+                continue
+            if not self.in_partition(target):
+                # Left G^m: the owning core continues this chain.
+                if descend and target not in visited:
+                    self.paths_ended += 1
+                    path = tuple(entry.vertex for entry in stack) + (target,)
+                    yield PathEnd(path, "boundary")
+                continue
+            if not descend or target in visited:
+                continue
+            if len(stack) >= self.stack_depth:
+                # Fixed-depth stack is full: split the chain here and let
+                # the endpoint continue as a fresh root.
+                self.paths_ended += 1
+                path = tuple(entry.vertex for entry in stack) + (target,)
+                yield PathEnd(path, "depth")
+                continue
+            visited.add(target)
+            self.fetch(FETCH_OFFSET, target)
+            t_begin, t_end = graph.edge_range(target)
+            stack.append(_StackEntry(target, t_begin, t_end))
+            self.max_depth_seen = max(self.max_depth_seen, len(stack))

@@ -1,0 +1,149 @@
+"""The hub index — the in-memory key-value table of direct dependencies.
+
+Each entry stores ``<j, i, l, mu, xi>``: the direct dependency between the
+states of the head vertex ``v_j`` and the tail vertex ``v_i`` of core-path
+``m_l`` (Section III-B2, "Maintaining the Hub Index").  Because core-paths
+are edge-disjoint, the id of the path's second vertex serves as ``l``.  A
+hash table ``vertex -> (beginning_offset, end_offset)`` accelerates per-head
+lookups, mirroring the paper's in-memory hash table with load factor 0.75.
+
+Entries carry the paper's flag protocol for the learned mode:
+``N`` (new, holds first observation) -> ``I`` (two observations pending
+solve) -> ``A`` (available: (mu, xi) usable as a shortcut).  The analytic
+mode stores composed coefficients directly at ``A``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ...algorithms.linear import DepFunc, solve_from_observations
+
+
+class EntryFlag(enum.Enum):
+    NEW = "N"
+    INCOMPLETE = "I"
+    AVAILABLE = "A"
+
+
+@dataclass
+class HubIndexEntry:
+    """One direct dependency ``f_(head, tail)(s) = mu * s + xi``."""
+
+    head: int
+    tail: int
+    path_id: int
+    func: Optional[DepFunc] = None
+    flag: EntryFlag = EntryFlag.NEW
+    #: first observation (s_head, s_tail) while learning
+    observation: Optional[Tuple[float, float]] = None
+    #: the vertices of the core-path, head..tail, kept so the learned mode
+    #: and the fictitious-edge machinery can replay the path
+    path: Tuple[int, ...] = ()
+
+    @property
+    def usable(self) -> bool:
+        return self.flag is EntryFlag.AVAILABLE and self.func is not None
+
+    @property
+    def key(self) -> Tuple[int, int, int]:
+        return (self.head, self.tail, self.path_id)
+
+
+class HubIndex:
+    """The shared key-value table of direct dependencies."""
+
+    #: bytes per <j, i, l, mu, xi> entry for memory accounting
+    ENTRY_BYTES = 40
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[int, int, int], HubIndexEntry] = {}
+        self._by_head: Dict[int, List[Tuple[int, int, int]]] = {}
+        #: statistics: how often shortcuts were taken / entries created
+        self.lookups = 0
+        self.shortcut_hits = 0
+        self.inserts = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[int, int, int]) -> bool:
+        return key in self._entries
+
+    def get(self, head: int, tail: int, path_id: int) -> Optional[HubIndexEntry]:
+        return self._entries.get((head, tail, path_id))
+
+    def entries(self) -> Iterable[HubIndexEntry]:
+        return self._entries.values()
+
+    @property
+    def memory_bytes(self) -> int:
+        # table entries plus the per-head hash table (24 B per slot at load
+        # factor 0.75, as the paper sizes it)
+        hash_slots = int(len(self._by_head) / 0.75) + 1
+        return len(self._entries) * self.ENTRY_BYTES + hash_slots * 24
+
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        head: int,
+        tail: int,
+        path_id: int,
+        path: Tuple[int, ...],
+        func: Optional[DepFunc] = None,
+    ) -> HubIndexEntry:
+        """Create an entry; with ``func`` it is immediately AVAILABLE
+        (analytic mode), otherwise it starts in the NEW learning state."""
+        key = (head, tail, path_id)
+        if key in self._entries:
+            return self._entries[key]
+        entry = HubIndexEntry(head, tail, path_id, path=path)
+        if func is not None:
+            entry.func = func
+            entry.flag = EntryFlag.AVAILABLE
+        self._entries[key] = entry
+        self._by_head.setdefault(head, []).append(key)
+        self.inserts += 1
+        return entry
+
+    def observe(self, entry: HubIndexEntry, s_head: float, s_tail: float) -> None:
+        """Feed one (s_j, s_i) observation into a learning entry.
+
+        NEW -> record and move to INCOMPLETE; INCOMPLETE -> solve the two
+        linear equations for (mu, xi) and move to AVAILABLE.  Degenerate
+        observation pairs (unchanged head state) keep the entry INCOMPLETE
+        with the newest observation retained, as the hardware would.
+        """
+        if entry.flag is EntryFlag.AVAILABLE:
+            return
+        if entry.observation is None:
+            entry.observation = (s_head, s_tail)
+            entry.flag = EntryFlag.INCOMPLETE
+            return
+        try:
+            entry.func = solve_from_observations(
+                entry.observation[0], entry.observation[1], s_head, s_tail
+            )
+        except ValueError:
+            entry.observation = (s_head, s_tail)
+            return
+        entry.flag = EntryFlag.AVAILABLE
+
+    # ------------------------------------------------------------------
+    def lookup_head(self, head: int) -> List[HubIndexEntry]:
+        """All usable shortcuts originating at ``head`` (the root-pop probe
+        of "Faster Propagation Based on Hub Index")."""
+        self.lookups += 1
+        keys = self._by_head.get(head)
+        if not keys:
+            return []
+        found = [self._entries[k] for k in keys]
+        usable = [e for e in found if e.usable]
+        self.shortcut_hits += len(usable)
+        return usable
+
+    def head_entry_count(self, head: int) -> int:
+        return len(self._by_head.get(head, ()))

@@ -1,0 +1,76 @@
+"""Behavioural model of Minnow (Zhang et al., ASPLOS'18) [59].
+
+Minnow adds a lightweight offload engine per core that (a) manages the
+software worklist in hardware — pushes and pops cost the core almost
+nothing — and (b) performs *worklist-directed prefetching*: the engine
+prefetches the vertex data for upcoming worklist entries so the core finds
+them in its private cache.
+
+Crucially, Minnow's worklist is a *priority* worklist: vertices with more
+important pending work (larger delta / smaller tentative distance) are
+served first, which accelerates convergence compared to FIFO frontiers but
+still processes one vertex at a time with no chain-following and no
+shortcuts — the gap DepGraph exploits (Section IV-B).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Tuple
+
+
+class MinnowWorklist:
+    """A per-core hardware priority worklist.
+
+    Priorities are min-ordered: the runtime supplies a key where *smaller
+    means more urgent* (e.g. tentative distance for SSSP, negated |delta|
+    for PageRank).  Stale entries are lazily skipped on pop, as Minnow's
+    worklist does with its version filtering.
+    """
+
+    def __init__(self, core: int) -> None:
+        self.core = core
+        self._heap: List[Tuple[float, int, int]] = []
+        self._counter = itertools.count()
+        self._queued_priority = {}
+        self.pushes = 0
+        self.pops = 0
+        self.stale_pops = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap
+
+    def push(self, vertex: int, priority: float) -> None:
+        """Engine-side push: only enqueue if this beats the queued entry."""
+        queued = self._queued_priority.get(vertex)
+        if queued is not None and queued <= priority:
+            return
+        self._queued_priority[vertex] = priority
+        heapq.heappush(self._heap, (priority, next(self._counter), vertex))
+        self.pushes += 1
+
+    def pop(self) -> Optional[int]:
+        """Engine-side pop of the most urgent non-stale vertex."""
+        while self._heap:
+            priority, _, vertex = heapq.heappop(self._heap)
+            self.pops += 1
+            if self._queued_priority.get(vertex) != priority:
+                self.stale_pops += 1
+                continue
+            del self._queued_priority[vertex]
+            return vertex
+        return None
+
+    def peek_priority(self) -> Optional[float]:
+        while self._heap:
+            priority, _, vertex = self._heap[0]
+            if self._queued_priority.get(vertex) == priority:
+                return priority
+            heapq.heappop(self._heap)
+            self.stale_pops += 1
+        return None

@@ -1,0 +1,66 @@
+"""Iterative graph algorithms in GAS / delta-accumulative form (Figure 1)."""
+
+from .base import Algorithm, MaxAlgorithm, MinAlgorithm, SumAlgorithm
+from .detect import AccumKind, detect_accum_kind, supports_transformation
+from .linear import DepFunc, compose_path, solve_from_observations
+from .pagerank import IncrementalPageRank
+from .adsorption import Adsorption
+from .sssp import BFS, SSSP
+from .wcc import WCC
+from .extensions import KCore, KatzCentrality, SSWP
+from . import reference
+
+#: The four algorithms evaluated throughout the paper's Section IV, in paper
+#: order, as zero-argument factories (SSSP's default source is vertex 0).
+PAPER_ALGORITHMS = {
+    "pagerank": IncrementalPageRank,
+    "adsorption": Adsorption,
+    "sssp": SSSP,
+    "wcc": WCC,
+}
+
+#: Extension algorithms from Table I.
+EXTENSION_ALGORITHMS = {
+    "katz": KatzCentrality,
+    "sswp": SSWP,
+    "kcore": KCore,
+    "bfs": BFS,
+}
+
+
+def make(name: str, **kwargs) -> Algorithm:
+    """Instantiate an algorithm by registry name."""
+    registry = {**PAPER_ALGORITHMS, **EXTENSION_ALGORITHMS}
+    try:
+        factory = registry[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; known: {sorted(registry)}"
+        ) from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "Algorithm",
+    "SumAlgorithm",
+    "MinAlgorithm",
+    "MaxAlgorithm",
+    "AccumKind",
+    "detect_accum_kind",
+    "supports_transformation",
+    "DepFunc",
+    "compose_path",
+    "solve_from_observations",
+    "IncrementalPageRank",
+    "Adsorption",
+    "SSSP",
+    "BFS",
+    "WCC",
+    "SSWP",
+    "KatzCentrality",
+    "KCore",
+    "PAPER_ALGORITHMS",
+    "EXTENSION_ALGORITHMS",
+    "make",
+    "reference",
+]

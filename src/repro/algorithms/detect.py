@@ -1,0 +1,45 @@
+"""Accum-kind autodetection — the ``Accum(1, 1)`` probe of Section III-B2.
+
+DepGraph must know, at initialization, whether the generalized sum is a
+``sum`` (shortcut influence arrives twice and must be reset via a fictitious
+edge) or ``min``/``max`` (idempotent, no reset needed).  The hardware probes
+the user's ``Accum`` with ``x = y = 1``: a result of 2 means sum, 1 means
+min/max, anything else means the algorithm is unsupported by the dependency
+transformation.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .base import Algorithm
+
+
+class AccumKind(enum.Enum):
+    SUM = "sum"
+    MIN_MAX = "min_max"
+    UNSUPPORTED = "unsupported"
+
+
+def detect_accum_kind(algorithm: Algorithm) -> AccumKind:
+    """Classify ``algorithm.accum`` with the paper's 1 ⊕ 1 probe."""
+    try:
+        probe = algorithm.accum(1, 1)
+    except Exception:
+        return AccumKind.UNSUPPORTED
+    if probe == 2:
+        return AccumKind.SUM
+    if probe == 1:
+        return AccumKind.MIN_MAX
+    return AccumKind.UNSUPPORTED
+
+
+def supports_transformation(algorithm: Algorithm) -> bool:
+    """Whether the hub-index dependency transformation may run.
+
+    Requires Property 1+2 (the algorithm declares ``transformable``) *and* a
+    recognisable generalized sum from the hardware probe.
+    """
+    if not algorithm.transformable:
+        return False
+    return detect_accum_kind(algorithm) is not AccumKind.UNSUPPORTED

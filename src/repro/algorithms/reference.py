@@ -1,0 +1,216 @@
+"""Reference solvers used to validate every runtime's final states.
+
+These are straightforward dense/queue-based implementations with no
+simulation machinery — the ground truth for correctness tests and for the
+convergence checks in the experiment harness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+INF = math.inf
+
+
+def pagerank(
+    graph: CSRGraph,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iters: int = 10_000,
+) -> np.ndarray:
+    """Unnormalised PageRank: ``p = (1 - d) + d * A^T (p / deg)``.
+
+    This matches the fixpoint of the delta-accumulative formulation in
+    :class:`repro.algorithms.pagerank.IncrementalPageRank`.
+    """
+    n = graph.num_vertices
+    p = np.full(n, 1.0 - damping)
+    degrees = graph.out_degrees().astype(np.float64)
+    safe_deg = np.where(degrees > 0, degrees, 1.0)
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.out_degrees())
+    dst = graph.targets
+    for _ in range(max_iters):
+        contrib = damping * p[src] / safe_deg[src]
+        nxt = np.full(n, 1.0 - damping)
+        np.add.at(nxt, dst, contrib)
+        if np.max(np.abs(nxt - p)) < tol:
+            return nxt
+        p = nxt
+    return p
+
+
+def adsorption(
+    graph: CSRGraph,
+    continuation: float = 0.8,
+    injections=None,
+    tol: float = 1e-10,
+    max_iters: int = 10_000,
+) -> np.ndarray:
+    n = graph.num_vertices
+    inject = np.zeros(n)
+    if injections is None:
+        inject[:] = 1.0 - continuation
+    else:
+        for v, mass in injections.items():
+            inject[v] = mass
+    degrees = graph.out_degrees().astype(np.float64)
+    safe_deg = np.where(degrees > 0, degrees, 1.0)
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.out_degrees())
+    dst = graph.targets
+    p = inject.copy()
+    for _ in range(max_iters):
+        contrib = continuation * p[src] / safe_deg[src]
+        nxt = inject.copy()
+        np.add.at(nxt, dst, contrib)
+        if np.max(np.abs(nxt - p)) < tol:
+            return nxt
+        p = nxt
+    return p
+
+
+def sssp(graph: CSRGraph, source: int = 0) -> np.ndarray:
+    """Dijkstra with a binary heap."""
+    n = graph.num_vertices
+    dist = np.full(n, INF)
+    dist[source] = 0.0
+    heap: List = [(0.0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        begin, end = graph.edge_range(v)
+        for e in range(begin, end):
+            t = int(graph.targets[e])
+            nd = d + graph.edge_weight(e)
+            if nd < dist[t]:
+                dist[t] = nd
+                heapq.heappush(heap, (nd, t))
+    return dist
+
+
+def bfs(graph: CSRGraph, source: int = 0) -> np.ndarray:
+    from ..graph.properties import bfs_levels
+
+    levels = bfs_levels(graph, source).astype(np.float64)
+    levels[levels < 0] = INF
+    return levels
+
+
+def symmetrize(graph: CSRGraph) -> CSRGraph:
+    """Union of the graph and its transpose (weights preserved)."""
+    n = graph.num_vertices
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.out_degrees())
+    all_src = np.concatenate([src, graph.targets])
+    all_dst = np.concatenate([graph.targets, src])
+    if graph.is_weighted:
+        all_w = np.concatenate([graph.weights, graph.weights])
+    else:
+        all_w = None
+    # Deduplicate (keep the first weight for duplicate pairs).
+    key = all_src * n + all_dst
+    _, idx = np.unique(key, return_index=True)
+    idx.sort()
+    w = None if all_w is None else all_w[idx]
+    return CSRGraph.from_arrays(n, all_src[idx], all_dst[idx], w)
+
+
+def wcc(graph: CSRGraph) -> np.ndarray:
+    """Max-label flood over the symmetrised graph (union-find under the
+    hood for speed)."""
+    n = graph.num_vertices
+    parent = np.arange(n)
+
+    def find(v: int) -> int:
+        root = v
+        while parent[root] != root:
+            root = parent[root]
+        while parent[v] != root:
+            parent[v], v = root, parent[v]
+        return root
+
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.out_degrees())
+    for u, v in zip(src, graph.targets):
+        ru, rv = find(int(u)), find(int(v))
+        if ru != rv:
+            parent[max(ru, rv)] = min(ru, rv)
+    labels = np.zeros(n)
+    best = {}
+    roots = np.asarray([find(v) for v in range(n)])
+    for v in range(n):
+        r = roots[v]
+        best[r] = max(best.get(r, -1), v)
+    for v in range(n):
+        labels[v] = best[roots[v]]
+    return labels
+
+
+def sswp(graph: CSRGraph, source: int = 0) -> np.ndarray:
+    """Widest path via a max-heap Dijkstra variant."""
+    n = graph.num_vertices
+    width = np.full(n, -INF)
+    width[source] = INF
+    heap: List = [(-INF, source)]
+    while heap:
+        negw, v = heapq.heappop(heap)
+        w = -negw
+        if w < width[v]:
+            continue
+        begin, end = graph.edge_range(v)
+        for e in range(begin, end):
+            t = int(graph.targets[e])
+            cand = min(w, graph.edge_weight(e))
+            if cand > width[t]:
+                width[t] = cand
+                heapq.heappush(heap, (-cand, t))
+    return width
+
+
+def katz(
+    graph: CSRGraph,
+    attenuation: float = 0.1,
+    tol: float = 1e-12,
+    max_iters: int = 10_000,
+) -> np.ndarray:
+    n = graph.num_vertices
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.out_degrees())
+    dst = graph.targets
+    p = np.ones(n)
+    for _ in range(max_iters):
+        nxt = np.ones(n)
+        np.add.at(nxt, dst, attenuation * p[src])
+        delta = np.max(np.abs(nxt - p))
+        if not np.isfinite(delta):
+            raise ValueError(
+                "Katz iteration diverged: attenuation exceeds 1/lambda_max"
+            )
+        if delta < tol:
+            return nxt
+        p = nxt
+    return p
+
+
+def kcore(graph: CSRGraph, k: int) -> np.ndarray:
+    """Boolean membership in the k-core of the symmetrised graph."""
+    sym = symmetrize(graph)
+    n = sym.num_vertices
+    degree = sym.out_degrees().astype(np.int64).copy()
+    alive = np.ones(n, dtype=bool)
+    stack = [v for v in range(n) if degree[v] < k]
+    while stack:
+        v = stack.pop()
+        if not alive[v]:
+            continue
+        alive[v] = False
+        for t in sym.neighbors(v):
+            t = int(t)
+            if alive[t]:
+                degree[t] -= 1
+                if degree[t] < k:
+                    stack.append(t)
+    return alive

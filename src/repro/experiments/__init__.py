@@ -1,0 +1,28 @@
+"""The experiment harness: one module per figure/table of the paper.
+
+================  =============================================
+module            paper artifact
+================  =============================================
+fig04_motivation  Figure 4(a)-(d): Section II measurements
+fig09_breakdown   Figure 9: execution-time breakdown
+fig10_updates     Figure 10: update counts vs Ligra-o
+fig11_speedup     Figure 11: speedup vs HATS/Minnow/PHI (+H-w)
+fig12_utilization Figure 12: utilization breakdown, all systems
+fig13_scalability Figure 13: core-count scaling
+fig14_energy      Figure 14: energy normalized to HATS
+fig15_stack_depth Figure 15: HDTL stack-depth sweep
+fig16_cache       Figures 16(a)/(b) + 17: cache sensitivity
+fig18_lambda_beta Figure 18: hub-parameter sensitivity
+fig19_skew        Figure 19 + Table V: Zipfian skew sweep
+table03_datasets  Table III: dataset characteristics
+table04_area      Table IV: accelerator area/power
+preprocessing     Section IV: preprocessing overhead
+================  =============================================
+
+Run any of them directly, e.g. ``python -m repro.experiments.fig11_speedup``,
+or through the pytest-benchmark harness in ``benchmarks/``.
+"""
+
+from .common import ExperimentConfig, ExperimentTable, WorkloadCache
+
+__all__ = ["ExperimentConfig", "ExperimentTable", "WorkloadCache"]

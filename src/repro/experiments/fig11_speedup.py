@@ -1,0 +1,76 @@
+"""Figure 11 — speedup over Ligra-o of the hardware-accelerated systems.
+
+Compares Ligra-o integrated with HATS, Minnow, and PHI against DepGraph-H,
+plus DepGraph-H-w (hub index disabled) for the ablation the text quotes
+("the hub-index based optimization contributes 56.9-71.5% of the
+improvements" in the paper's testbed).
+
+Paper shape: DepGraph-H beats HATS by up to 3.0-14.2x, Minnow by 2.2-5.8x,
+PHI by 2.4-10.1x; Minnow usually leads the other two baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .common import ExperimentConfig, ExperimentTable, WorkloadCache, geometric_mean
+
+SYSTEMS = ("hats", "minnow", "phi", "depgraph-h-w", "depgraph-h")
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[WorkloadCache] = None,
+) -> ExperimentTable:
+    config = config or ExperimentConfig()
+    cache = cache or WorkloadCache(config)
+    table = ExperimentTable(
+        "fig11",
+        "speedup over Ligra-o (accelerated systems)",
+        ["algorithm", "dataset"] + list(SYSTEMS),
+    )
+    for algorithm in config.algorithm_names:
+        for dataset in config.dataset_names:
+            base = cache.result("ligra-o", dataset, algorithm)
+            speedups = [
+                cache.result(system, dataset, algorithm).speedup_over(base)
+                for system in SYSTEMS
+            ]
+            table.add(algorithm, dataset, *speedups)
+    # geometric-mean summary row per system
+    summary = []
+    for index, system in enumerate(SYSTEMS):
+        speedups = [row[2 + index] for row in table.rows]
+        summary.append(geometric_mean(speedups))
+    table.add("geomean", "-", *summary)
+    table.note(
+        "paper: DepGraph-H vs HATS 3.0-14.2x, vs Minnow 2.2-5.8x, "
+        "vs PHI 2.4-10.1x"
+    )
+    return table
+
+
+def hub_contribution(table: ExperimentTable) -> float:
+    """Fraction of DepGraph-H's improvement over Ligra-o attributable to the
+    hub index, from the Figure 11 rows: (t_hw - t_h) / (t_ligra - t_h)
+    expressed with speedups."""
+    contribs = []
+    for row in table.rows:
+        if row[0] == "geomean":
+            continue
+        s_hw, s_h = float(row[5]), float(row[6])
+        if s_h <= 1.0 or s_h <= s_hw:
+            continue
+        t_h, t_hw = 1.0 / s_h, 1.0 / s_hw
+        contribs.append((t_hw - t_h) / (1.0 - t_h))
+    return sum(contribs) / len(contribs) if contribs else 0.0
+
+
+def main() -> None:  # pragma: no cover - console entry point
+    table = run()
+    table.print()
+    print(f"hub-index contribution to improvement: {hub_contribution(table):.1%}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

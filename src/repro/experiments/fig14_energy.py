@@ -1,0 +1,56 @@
+"""Figure 14 — energy consumption normalized to HATS (FS stand-in).
+
+Folds each system's event counts (busy/idle cycles, cache accesses per
+level, NoC hops, DRAM accesses, accelerator operations) through the
+McPAT-style constants of :mod:`repro.hardware.energy` and reports the
+component breakdown, normalized to the HATS total as the paper plots it.
+
+Paper shape: DepGraph-H consumes the least energy, thanks to higher useful
+utilization and faster convergence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .common import ExperimentConfig, ExperimentTable, WorkloadCache
+
+SYSTEMS = ("hats", "minnow", "phi", "depgraph-h")
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[WorkloadCache] = None,
+    dataset: str = "FS",
+    algorithm: str = "pagerank",
+) -> ExperimentTable:
+    config = config or ExperimentConfig()
+    cache = cache or WorkloadCache(config)
+    reports = {
+        system: cache.result(system, dataset, algorithm).energy()
+        for system in SYSTEMS
+    }
+    base_total = reports["hats"].total or 1.0
+    components = ["core", "l1", "l2", "l3", "noc", "dram", "accelerator"]
+    table = ExperimentTable(
+        "fig14",
+        f"energy normalized to HATS ({dataset} stand-in, {algorithm})",
+        ["system", "total_norm"] + components,
+    )
+    for system in SYSTEMS:
+        report = reports[system]
+        table.add(
+            system,
+            report.total / base_total,
+            *[report.components[c] / base_total for c in components],
+        )
+    table.note("paper: DepGraph-H consumes the least energy of the four")
+    return table
+
+
+def main() -> None:  # pragma: no cover - console entry point
+    run().print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

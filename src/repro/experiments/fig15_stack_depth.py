@@ -1,0 +1,60 @@
+"""Figure 15 — sensitivity to the HDTL stack depth.
+
+Sweeps the fixed-depth traversal stack of DepGraph-H on the FS stand-in
+(SSSP, as the paper's sensitivity study uses).
+
+Paper shape: performance is flat beyond a depth of ~10 — a shallow stack
+splits chains into many root handoffs, a deep one buys nothing more — so a
+small fixed stack (6.1 Kbit) suffices.  The area model shows the storage
+cost of deeper stacks alongside.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..hardware.area import depgraph_cost
+from .common import ExperimentConfig, ExperimentTable, WorkloadCache
+
+DEPTHS: Tuple[int, ...] = (2, 5, 10, 20, 40)
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[WorkloadCache] = None,
+    dataset: str = "FS",
+    algorithm: str = "sssp",
+) -> ExperimentTable:
+    config = config or ExperimentConfig()
+    cache = cache or WorkloadCache(config)
+    table = ExperimentTable(
+        "fig15",
+        f"DepGraph-H vs HDTL stack depth ({dataset} stand-in, {algorithm})",
+        ["stack_depth", "cycles", "updates", "norm_to_depth10", "stack_area_mm2"],
+    )
+    results = {
+        depth: cache.result(
+            "depgraph-h", dataset, algorithm, stack_depth=depth
+        )
+        for depth in DEPTHS
+    }
+    base = results[10].cycles or 1.0
+    for depth in DEPTHS:
+        result = results[depth]
+        table.add(
+            depth,
+            result.cycles,
+            result.total_updates,
+            result.cycles / base,
+            depgraph_cost(stack_depth=depth).area_mm2,
+        )
+    table.note("paper: mostly insensitive beyond depth 10")
+    return table
+
+
+def main() -> None:  # pragma: no cover - console entry point
+    run().print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,18 @@
+"""Graph substrate: CSR representation, generators, datasets, partitioning."""
+
+from .csr import CSRGraph
+from .partition import Partition, Partitioning, by_edge_count, by_vertex_count
+from . import datasets, generators, io, mutation, properties
+
+__all__ = [
+    "CSRGraph",
+    "Partition",
+    "Partitioning",
+    "by_edge_count",
+    "by_vertex_count",
+    "datasets",
+    "generators",
+    "io",
+    "mutation",
+    "properties",
+]

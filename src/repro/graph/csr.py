@@ -1,0 +1,235 @@
+"""Compressed Sparse Row graph representation.
+
+This mirrors the representation described in Section II / Figure 2 of the
+DepGraph paper: an *offset array* (``offsets``), an *edge array*
+(``targets`` plus optional per-edge ``weights``), and vertex state arrays
+which live with the algorithm runtimes rather than the graph itself.
+
+The arrays are plain :mod:`numpy` arrays so that the hardware model can map
+them to byte addresses (see :mod:`repro.hardware.layout`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+Edge = Tuple[int, int]
+WeightedEdge = Tuple[int, int, float]
+
+
+class CSRGraph:
+    """A directed graph in CSR form.
+
+    Parameters
+    ----------
+    offsets:
+        int64 array of length ``n + 1``; vertex ``v``'s outgoing edges are
+        ``targets[offsets[v]:offsets[v + 1]]``.
+    targets:
+        int64 array of length ``m`` holding destination vertex ids.
+    weights:
+        optional float64 array of length ``m`` with per-edge weights.
+    """
+
+    __slots__ = ("offsets", "targets", "weights", "_reverse")
+
+    def __init__(
+        self,
+        offsets: np.ndarray,
+        targets: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> None:
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        targets = np.ascontiguousarray(targets, dtype=np.int64)
+        if offsets.ndim != 1 or targets.ndim != 1:
+            raise ValueError("offsets and targets must be 1-D arrays")
+        if offsets.size == 0:
+            raise ValueError("offsets must have at least one entry")
+        if offsets[0] != 0 or offsets[-1] != targets.size:
+            raise ValueError("offsets must start at 0 and end at len(targets)")
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        n = offsets.size - 1
+        if targets.size and (targets.min() < 0 or targets.max() >= n):
+            raise ValueError("edge target out of range")
+        if weights is not None:
+            weights = np.ascontiguousarray(weights, dtype=np.float64)
+            if weights.shape != targets.shape:
+                raise ValueError("weights must align with targets")
+        self.offsets = offsets
+        self.targets = targets
+        self.weights = weights
+        self._reverse: Optional["CSRGraph"] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges: Sequence[Edge],
+        weights: Optional[Sequence[float]] = None,
+    ) -> "CSRGraph":
+        """Build a CSR graph from an edge list.
+
+        Edges are sorted by (source, target) so the layout is deterministic
+        regardless of input order.
+        """
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        if not edges:
+            offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+            empty_w = None if weights is None else np.zeros(0)
+            return cls(offsets, np.zeros(0, dtype=np.int64), empty_w)
+        src = np.asarray([e[0] for e in edges], dtype=np.int64)
+        dst = np.asarray([e[1] for e in edges], dtype=np.int64)
+        if src.min() < 0 or src.max() >= num_vertices:
+            raise ValueError("edge source out of range")
+        if dst.min() < 0 or dst.max() >= num_vertices:
+            raise ValueError("edge target out of range")
+        w = None if weights is None else np.asarray(weights, dtype=np.float64)
+        if w is not None and w.shape != src.shape:
+            raise ValueError("weights must align with edges")
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        if w is not None:
+            w = w[order]
+        offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.add.at(offsets, src + 1, 1)
+        np.cumsum(offsets, out=offsets)
+        return cls(offsets, dst, w)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        num_vertices: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> "CSRGraph":
+        """Vectorised variant of :meth:`from_edges` for large inputs."""
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape:
+            raise ValueError("sources and targets must align")
+        if sources.size and (sources.min() < 0 or sources.max() >= num_vertices):
+            raise ValueError("edge source out of range")
+        if targets.size and (targets.min() < 0 or targets.max() >= num_vertices):
+            raise ValueError("edge target out of range")
+        w = None if weights is None else np.asarray(weights, dtype=np.float64)
+        order = np.lexsort((targets, sources))
+        sources, targets = sources[order], targets[order]
+        if w is not None:
+            w = w[order]
+        offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.add.at(offsets, sources + 1, 1)
+        np.cumsum(offsets, out=offsets)
+        return cls(offsets, targets, w)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        return self.targets.size
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weights is not None
+
+    def out_degree(self, v: int) -> int:
+        return int(self.offsets[v + 1] - self.offsets[v])
+
+    def out_degrees(self) -> np.ndarray:
+        """Array of out-degrees for every vertex."""
+        return np.diff(self.offsets)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Targets of ``v``'s outgoing edges (a view, do not mutate)."""
+        return self.targets[self.offsets[v] : self.offsets[v + 1]]
+
+    def edge_range(self, v: int) -> Tuple[int, int]:
+        """``(begin, end)`` offsets of ``v``'s edges in the edge array."""
+        return int(self.offsets[v]), int(self.offsets[v + 1])
+
+    def edge_weight(self, edge_index: int) -> float:
+        """Weight of the edge stored at ``edge_index`` (1.0 if unweighted)."""
+        if self.weights is None:
+            return 1.0
+        return float(self.weights[edge_index])
+
+    def out_edges(self, v: int) -> Iterator[Tuple[int, int, float]]:
+        """Yield ``(edge_index, target, weight)`` for each out-edge of v."""
+        begin, end = self.edge_range(v)
+        for e in range(begin, end):
+            yield e, int(self.targets[e]), self.edge_weight(e)
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield every edge as ``(source, target, weight)``."""
+        for v in range(self.num_vertices):
+            begin, end = self.edge_range(v)
+            for e in range(begin, end):
+                yield v, int(self.targets[e]), self.edge_weight(e)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        begin, end = self.edge_range(u)
+        seg = self.targets[begin:end]
+        idx = np.searchsorted(seg, v)
+        return bool(idx < seg.size and seg[idx] == v)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "CSRGraph":
+        """The transposed graph; cached because it is pure-derived data."""
+        if self._reverse is None:
+            n = self.num_vertices
+            src = np.repeat(np.arange(n, dtype=np.int64), self.out_degrees())
+            self._reverse = CSRGraph.from_arrays(n, self.targets, src, self.weights)
+        return self._reverse
+
+    def with_weights(self, weights: Sequence[float]) -> "CSRGraph":
+        """A copy of this graph with the given per-edge weights."""
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != self.targets.shape:
+            raise ValueError("weights must align with targets")
+        return CSRGraph(self.offsets.copy(), self.targets.copy(), w)
+
+    def subgraph_edge_count(self, vertices: Iterable[int]) -> int:
+        """Number of edges with both endpoints inside ``vertices``."""
+        vset = set(int(v) for v in vertices)
+        count = 0
+        for v in vset:
+            count += sum(1 for t in self.neighbors(v) if int(t) in vset)
+        return count
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "weighted" if self.is_weighted else "unweighted"
+        return (
+            f"CSRGraph(n={self.num_vertices}, m={self.num_edges}, {kind})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        if not (
+            np.array_equal(self.offsets, other.offsets)
+            and np.array_equal(self.targets, other.targets)
+        ):
+            return False
+        if (self.weights is None) != (other.weights is None):
+            return False
+        if self.weights is None:
+            return True
+        return np.allclose(self.weights, other.weights)
+
+    def __hash__(self) -> int:  # CSRGraph is mutable in principle; identity hash
+        return id(self)

@@ -1,0 +1,262 @@
+"""Synthetic graph generators.
+
+The paper evaluates on six SNAP graphs (Table III) and on five synthetic
+power-law graphs with Zipfian factor alpha in [1.8, 2.2] (Table V).  The SNAP
+graphs are not shippable here, so :mod:`repro.graph.datasets` builds scaled
+stand-ins from the generators in this module.
+
+All generators are deterministic given a seed and return :class:`CSRGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .csr import CSRGraph
+
+
+def _dedupe(num_vertices: int, src: np.ndarray, dst: np.ndarray) -> tuple:
+    """Drop self-loops and duplicate edges, keeping deterministic order."""
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    key = src * num_vertices + dst
+    _, unique_idx = np.unique(key, return_index=True)
+    unique_idx.sort()
+    return src[unique_idx], dst[unique_idx]
+
+
+def _attach_weights(
+    graph: CSRGraph, rng: np.random.Generator, weighted: bool
+) -> CSRGraph:
+    if not weighted:
+        return graph
+    weights = rng.uniform(0.1, 10.0, size=graph.num_edges)
+    return graph.with_weights(weights)
+
+
+def erdos_renyi(
+    num_vertices: int,
+    num_edges: int,
+    seed: int = 0,
+    weighted: bool = False,
+) -> CSRGraph:
+    """Uniform random directed graph with ~``num_edges`` distinct edges."""
+    rng = np.random.default_rng(seed)
+    # Oversample to survive dedup, then trim.
+    factor = 1.3
+    src = rng.integers(0, num_vertices, size=int(num_edges * factor))
+    dst = rng.integers(0, num_vertices, size=int(num_edges * factor))
+    src, dst = _dedupe(num_vertices, src, dst)
+    src, dst = src[:num_edges], dst[:num_edges]
+    graph = CSRGraph.from_arrays(num_vertices, src, dst)
+    return _attach_weights(graph, rng, weighted)
+
+
+def power_law(
+    num_vertices: int,
+    num_edges: int,
+    alpha: float = 2.0,
+    seed: int = 0,
+    weighted: bool = False,
+) -> CSRGraph:
+    """Chung-Lu style power-law graph with Zipfian exponent ``alpha``.
+
+    Vertex ``i`` (0-based rank) receives expected degree proportional to
+    ``(i + 1) ** -(1 / (alpha - 1))`` which yields a degree distribution with
+    tail exponent ``alpha`` — the construction used for Table V of the paper
+    (after PowerGraph's synthetic-graph methodology).  Lower ``alpha`` means
+    heavier skew, exactly as in Figure 19.
+    """
+    if alpha <= 1.0:
+        raise ValueError("alpha must exceed 1.0")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_vertices + 1, dtype=np.float64)
+    weights_dist = ranks ** (-1.0 / (alpha - 1.0))
+    prob = weights_dist / weights_dist.sum()
+    factor = 1.35
+    draws = int(num_edges * factor)
+    src = rng.choice(num_vertices, size=draws, p=prob)
+    dst = rng.choice(num_vertices, size=draws, p=prob)
+    src, dst = _dedupe(num_vertices, src, dst)
+    src, dst = src[:num_edges], dst[:num_edges]
+    graph = CSRGraph.from_arrays(num_vertices, src, dst)
+    return _attach_weights(graph, rng, weighted)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    weighted: bool = False,
+) -> CSRGraph:
+    """Kronecker/R-MAT graph with ``2**scale`` vertices.
+
+    The (a, b, c, d) defaults are the Graph500 parameters; R-MAT graphs have
+    strong degree skew and community structure, useful as social-network
+    stand-ins.
+    """
+    num_vertices = 1 << scale
+    num_edges = num_vertices * edge_factor
+    rng = np.random.default_rng(seed)
+    draws = int(num_edges * 1.35)
+    src = np.zeros(draws, dtype=np.int64)
+    dst = np.zeros(draws, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(draws)
+        bit_src = (r >= a + b).astype(np.int64)
+        r2 = rng.random(draws)
+        # Conditional on the source bit, pick the destination bit.
+        top = np.where(bit_src == 0, a / (a + b), c / (c + (1 - a - b - c)))
+        bit_dst = (r2 >= top).astype(np.int64)
+        src = (src << 1) | bit_src
+        dst = (dst << 1) | bit_dst
+    src, dst = _dedupe(num_vertices, src, dst)
+    src, dst = src[:num_edges], dst[:num_edges]
+    graph = CSRGraph.from_arrays(num_vertices, src, dst)
+    return _attach_weights(graph, rng, weighted)
+
+
+def grid_mesh(
+    rows: int,
+    cols: int,
+    seed: int = 0,
+    weighted: bool = False,
+    bidirectional: bool = True,
+) -> CSRGraph:
+    """A 2-D grid (road-network-like mesh: low skew, huge diameter).
+
+    The paper notes that mesh-like graphs still benefit from DepGraph's
+    chain-following even with the hub index disabled (DepGraph-H-w); this
+    generator provides that regime.
+    """
+    num_vertices = rows * cols
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+                if bidirectional:
+                    edges.append((v + 1, v))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+                if bidirectional:
+                    edges.append((v + cols, v))
+    rng = np.random.default_rng(seed)
+    graph = CSRGraph.from_edges(num_vertices, edges)
+    return _attach_weights(graph, rng, weighted)
+
+
+def chain(num_vertices: int, weighted: bool = False, seed: int = 0) -> CSRGraph:
+    """A single directed path — the worst case for dependency chains."""
+    edges = [(v, v + 1) for v in range(num_vertices - 1)]
+    rng = np.random.default_rng(seed)
+    graph = CSRGraph.from_edges(num_vertices, edges)
+    return _attach_weights(graph, rng, weighted)
+
+
+def star(num_vertices: int, center: int = 0, weighted: bool = False) -> CSRGraph:
+    """A star: the center points at every other vertex."""
+    edges = [(center, v) for v in range(num_vertices) if v != center]
+    graph = CSRGraph.from_edges(num_vertices, edges)
+    if weighted:
+        return graph.with_weights(np.ones(graph.num_edges))
+    return graph
+
+
+def small_world(
+    num_vertices: int,
+    k: int = 4,
+    rewire_prob: float = 0.1,
+    seed: int = 0,
+    weighted: bool = False,
+) -> CSRGraph:
+    """Watts-Strogatz style ring lattice with random rewiring."""
+    rng = np.random.default_rng(seed)
+    edges = set()
+    for v in range(num_vertices):
+        for hop in range(1, k // 2 + 1):
+            u = (v + hop) % num_vertices
+            if rng.random() < rewire_prob:
+                u = int(rng.integers(0, num_vertices))
+                while u == v:
+                    u = int(rng.integers(0, num_vertices))
+            edges.add((v, u))
+            edges.add((u, v))
+    graph = CSRGraph.from_edges(num_vertices, sorted(edges))
+    return _attach_weights(graph, rng, weighted)
+
+
+def ensure_reachable(
+    graph: CSRGraph, root: int = 0, seed: int = 0, ordered: bool = False
+) -> CSRGraph:
+    """Add a spanning back-bone so that every vertex is reachable from root.
+
+    Traversal-style experiments (SSSP and friends) are uninteresting when the
+    graph is mostly unreachable, so dataset stand-ins thread a spanning chain
+    through the vertices.  A shuffled chain (default) keeps the effective
+    diameter small, like social networks; ``ordered=True`` chains vertices in
+    id order, which — combined with sparse shortcut edges — produces the
+    road/co-purchase regime of long diameters and long dependency chains
+    (the paper's AZ and FS datasets).
+    """
+    rng = np.random.default_rng(seed)
+    order = np.arange(graph.num_vertices)
+    order = order[order != root]
+    if not ordered:
+        rng.shuffle(order)
+    chain_vertices = np.concatenate(([root], order))
+    extra_src = chain_vertices[:-1]
+    extra_dst = chain_vertices[1:]
+    n = graph.num_vertices
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.out_degrees())
+    all_src = np.concatenate([src, extra_src])
+    all_dst = np.concatenate([graph.targets, extra_dst])
+    if graph.is_weighted:
+        extra_w = rng.uniform(0.1, 10.0, size=extra_src.size)
+        all_w: Optional[np.ndarray] = np.concatenate([graph.weights, extra_w])
+    else:
+        all_w = None
+    all_src, keep_dst = _dedupe(n, all_src, all_dst)
+    # _dedupe loses weights; redo the selection manually to keep alignment.
+    if all_w is not None:
+        key = np.concatenate([src, extra_src]) * n + np.concatenate(
+            [graph.targets, extra_dst]
+        )
+        keep = np.concatenate([src, extra_src]) != np.concatenate(
+            [graph.targets, extra_dst]
+        )
+        key = key[keep]
+        w_kept = np.concatenate([graph.weights, extra_w])[keep]
+        s_kept = np.concatenate([src, extra_src])[keep]
+        d_kept = np.concatenate([graph.targets, extra_dst])[keep]
+        _, unique_idx = np.unique(key, return_index=True)
+        unique_idx.sort()
+        return CSRGraph.from_arrays(
+            n, s_kept[unique_idx], d_kept[unique_idx], w_kept[unique_idx]
+        )
+    return CSRGraph.from_arrays(n, all_src, keep_dst)
+
+
+def zipfian_suite(
+    num_vertices: int = 4096, base_edges: int = 40000, seed: int = 7
+) -> dict:
+    """The Table V suite: fixed vertex count, alpha in {1.8 .. 2.2}.
+
+    In the paper the edge count falls as alpha rises (667M down to 37M for
+    10M vertices); the same relative fall-off is reproduced here by scaling
+    ``base_edges`` with the paper's ratios.
+    """
+    paper_edges = {1.8: 667, 1.9: 246, 2.0: 104, 2.1: 56, 2.2: 37}
+    suite = {}
+    for alpha, meg in paper_edges.items():
+        edges = max(num_vertices, int(base_edges * meg / 104))
+        suite[alpha] = power_law(
+            num_vertices, edges, alpha=alpha, seed=seed, weighted=True
+        )
+    return suite

@@ -1,0 +1,102 @@
+"""Incremental graph mutation helpers.
+
+The paper's first workload is *incremental* PageRank: the graph changes and
+the ranking is refreshed.  CSR is immutable, so mutations build a new
+:class:`CSRGraph`; these helpers do that efficiently and deterministically,
+deduplicating against existing edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .csr import CSRGraph
+
+Edge = Tuple[int, int]
+
+
+def _edge_arrays(graph: CSRGraph) -> Tuple[np.ndarray, np.ndarray]:
+    sources = np.repeat(
+        np.arange(graph.num_vertices, dtype=np.int64), graph.out_degrees()
+    )
+    return sources, graph.targets
+
+
+def add_edges(
+    graph: CSRGraph,
+    edges: Sequence[Edge],
+    weights: Optional[Sequence[float]] = None,
+    default_weight: float = 1.0,
+) -> CSRGraph:
+    """A new graph with ``edges`` added (duplicates of existing edges are
+    ignored; duplicate insertions keep their first occurrence)."""
+    if not edges:
+        return graph
+    n = graph.num_vertices
+    new_src = np.asarray([e[0] for e in edges], dtype=np.int64)
+    new_dst = np.asarray([e[1] for e in edges], dtype=np.int64)
+    if new_src.min() < 0 or new_src.max() >= n:
+        raise ValueError("edge source out of range")
+    if new_dst.min() < 0 or new_dst.max() >= n:
+        raise ValueError("edge target out of range")
+    if weights is not None and len(weights) != len(edges):
+        raise ValueError("weights must align with edges")
+
+    src, dst = _edge_arrays(graph)
+    all_src = np.concatenate([src, new_src])
+    all_dst = np.concatenate([dst, new_dst])
+    all_w: Optional[np.ndarray] = None
+    if graph.is_weighted:
+        new_w = (
+            np.asarray(weights, dtype=np.float64)
+            if weights is not None
+            else np.full(len(edges), default_weight)
+        )
+        all_w = np.concatenate([graph.weights, new_w])
+    key = all_src * n + all_dst
+    _, idx = np.unique(key, return_index=True)
+    idx.sort()
+    return CSRGraph.from_arrays(
+        n, all_src[idx], all_dst[idx], None if all_w is None else all_w[idx]
+    )
+
+
+def remove_edges(graph: CSRGraph, edges: Iterable[Edge]) -> CSRGraph:
+    """A new graph with ``edges`` removed (missing edges are ignored)."""
+    doomed = {(int(s), int(t)) for s, t in edges}
+    if not doomed:
+        return graph
+    src, dst = _edge_arrays(graph)
+    keep = np.asarray(
+        [(int(s), int(t)) not in doomed for s, t in zip(src, dst)], dtype=bool
+    )
+    weights = graph.weights[keep] if graph.is_weighted else None
+    return CSRGraph.from_arrays(graph.num_vertices, src[keep], dst[keep], weights)
+
+
+def add_vertices(graph: CSRGraph, count: int) -> CSRGraph:
+    """A new graph with ``count`` extra isolated vertices appended."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count == 0:
+        return graph
+    offsets = np.concatenate(
+        [graph.offsets, np.full(count, graph.num_edges, dtype=np.int64)]
+    )
+    return CSRGraph(offsets, graph.targets.copy(), None if graph.weights is None else graph.weights.copy())
+
+
+def reweight_edge(graph: CSRGraph, source: int, target: int, weight: float) -> CSRGraph:
+    """A new graph with one edge's weight changed."""
+    if not graph.is_weighted:
+        raise ValueError("graph is unweighted")
+    begin, end = graph.edge_range(source)
+    segment = graph.targets[begin:end]
+    idx = int(np.searchsorted(segment, target))
+    if idx >= segment.size or segment[idx] != target:
+        raise ValueError(f"edge <{source}, {target}> not present")
+    weights = graph.weights.copy()
+    weights[begin + idx] = weight
+    return CSRGraph(graph.offsets.copy(), graph.targets.copy(), weights)

@@ -1,0 +1,27 @@
+"""Cycle-approximate many-core hardware model (Table II machine)."""
+
+from .area import AcceleratorCost, area_table, depgraph_cost
+from .cache import Cache
+from .config import CacheConfig, CoreTiming, HardwareConfig
+from .energy import EnergyConstants, EnergyReport, energy_from_counts
+from .hierarchy import AccessStats, MemorySystem
+from .layout import ArrayRegion, MemoryLayout
+from .noc import MeshNoC
+
+__all__ = [
+    "AcceleratorCost",
+    "area_table",
+    "depgraph_cost",
+    "Cache",
+    "CacheConfig",
+    "CoreTiming",
+    "HardwareConfig",
+    "EnergyConstants",
+    "EnergyReport",
+    "energy_from_counts",
+    "AccessStats",
+    "MemorySystem",
+    "ArrayRegion",
+    "MemoryLayout",
+    "MeshNoC",
+]

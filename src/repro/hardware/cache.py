@@ -1,0 +1,196 @@
+"""Set-associative cache models with LRU, DRRIP, and GRASP replacement.
+
+The three policies are the ones swept in Figure 16(b) of the paper:
+
+* **LRU** — classic least-recently-used.
+* **DRRIP** [18] — dynamic re-reference interval prediction with set-dueling
+  between SRRIP (insert at RRPV = max-1) and BRRIP (insert mostly at max);
+  this is the paper's default L3 policy (Table II).
+* **GRASP** [13] — DRRIP extended with software-provided *hot region* hints:
+  lines inside a registered hot address range (hub index, high-degree vertex
+  states) are inserted at the highest priority and preferentially retained.
+
+Caches operate on line addresses; byte-to-line mapping lives in
+:class:`repro.hardware.hierarchy.MemorySystem`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from .config import CacheConfig
+
+
+class ReplacementPolicy:
+    """Per-set replacement state; subclasses implement the three policies."""
+
+    def lookup(self, tags: "OrderedDict", tag: int) -> bool:
+        raise NotImplementedError
+
+    def insert(self, tags: "OrderedDict", tag: int, ways: int, hot: bool) -> None:
+        raise NotImplementedError
+
+
+class Cache:
+    """A single set-associative cache level.
+
+    ``access(line, write)`` returns True on hit.  Contents are per-line tags
+    only — this is a timing/locality model, data lives in the simulated
+    software arrays.
+    """
+
+    __slots__ = (
+        "config",
+        "num_sets",
+        "_sets",
+        "_set_mask",
+        "hits",
+        "misses",
+        "writebacks",
+        "_policy",
+        "_hot_ranges",
+        "_brip_counter",
+        "_duel_leader_sets",
+        "_psel",
+    )
+
+    RRPV_MAX = 3
+
+    def __init__(self, config: CacheConfig, line_bytes: int = 64) -> None:
+        self.config = config
+        self.num_sets = config.num_sets(line_bytes)
+        # Round down to a power of two so the index is a mask.
+        while self.num_sets & (self.num_sets - 1):
+            self.num_sets -= 1
+        self._set_mask = self.num_sets - 1
+        # Each set maps tag -> rrpv (ignored by LRU, which uses dict order).
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self._policy = config.policy
+        if self._policy not in ("lru", "drrip", "grasp"):
+            raise ValueError(f"unknown policy {config.policy!r}")
+        self._hot_ranges: List[Tuple[int, int]] = []
+        self._brip_counter = 0
+        # Set-dueling: sets 0 mod 64 follow SRRIP, 32 mod 64 follow BRRIP,
+        # the rest follow the winning policy via a saturating counter.
+        self._duel_leader_sets = 64
+        self._psel = 512
+
+    # ------------------------------------------------------------------
+    def add_hot_range(self, begin_line: int, end_line: int) -> None:
+        """Register a GRASP hot region, in line addresses ``[begin, end)``."""
+        self._hot_ranges.append((begin_line, end_line))
+
+    def clear_hot_ranges(self) -> None:
+        self._hot_ranges.clear()
+
+    def _is_hot(self, line: int) -> bool:
+        for begin, end in self._hot_ranges:
+            if begin <= line < end:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def access(self, line: int, write: bool = False) -> bool:
+        """Touch one cache line; returns True on hit, False on miss (the
+        line is then installed)."""
+        index = line & self._set_mask
+        tag = line >> 0  # full line id as tag; sets are disjoint by index
+        cset = self._sets[index]
+        if tag in cset:
+            self.hits += 1
+            if self._policy == "lru":
+                cset.move_to_end(tag)
+            else:
+                cset[tag] = 0  # RRIP: promote to near-immediate re-reference
+            return True
+        self.misses += 1
+        self._install(cset, index, tag, write)
+        return False
+
+    def probe(self, line: int) -> bool:
+        """Check residency without updating replacement state or counters."""
+        index = line & self._set_mask
+        return line in self._sets[index]
+
+    # ------------------------------------------------------------------
+    def _install(self, cset: OrderedDict, index: int, tag: int, write: bool) -> None:
+        ways = self.config.ways
+        if len(cset) >= ways:
+            self._evict(cset)
+        if self._policy == "lru":
+            cset[tag] = 0
+            return
+        hot = self._policy == "grasp" and self._is_hot(tag)
+        if hot:
+            cset[tag] = 0
+            return
+        cset[tag] = self._insertion_rrpv(index)
+
+    def _insertion_rrpv(self, index: int) -> int:
+        mod = index & 63
+        if mod == 0:  # SRRIP leader set
+            use_brip = False
+        elif mod == 32:  # BRRIP leader set
+            use_brip = True
+        else:
+            use_brip = self._psel < 512
+        if not use_brip:
+            return self.RRPV_MAX - 1
+        # BRRIP: distant insertion except 1-in-32 accesses.
+        self._brip_counter = (self._brip_counter + 1) & 31
+        return self.RRPV_MAX - 1 if self._brip_counter == 0 else self.RRPV_MAX
+
+    def _evict(self, cset: OrderedDict) -> None:
+        self.writebacks += 1
+        if self._policy == "lru":
+            cset.popitem(last=False)
+            return
+        # RRIP victim search: evict a line with RRPV == max, aging otherwise.
+        # GRASP never ages hot lines past max-1, preferring cold victims.
+        while True:
+            victim: Optional[int] = None
+            for tag, rrpv in cset.items():
+                if rrpv >= self.RRPV_MAX:
+                    victim = tag
+                    break
+            if victim is not None:
+                del cset[victim]
+                return
+            for tag in cset:
+                if self._policy == "grasp" and self._is_hot(tag):
+                    cset[tag] = min(cset[tag] + 1, self.RRPV_MAX - 1)
+                else:
+                    cset[tag] = cset[tag] + 1
+
+    # ------------------------------------------------------------------
+    def note_duel_outcome(self, index: int, hit: bool) -> None:
+        """Update the set-dueling selector (called by the hierarchy on L3
+        accesses to leader sets)."""
+        mod = index & 63
+        if mod == 0:  # SRRIP leader: misses push toward BRRIP
+            if not hit:
+                self._psel = max(0, self._psel - 1)
+        elif mod == 32:
+            if not hit:
+                self._psel = min(1023, self._psel + 1)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.writebacks = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cache(policy={self._policy}, sets={self.num_sets}, "
+            f"ways={self.config.ways}, hits={self.hits}, misses={self.misses})"
+        )

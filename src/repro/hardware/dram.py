@@ -1,0 +1,60 @@
+"""Bandwidth-aware DRAM channel model (Table II: 12-channel DDR4-2400).
+
+The base hierarchy charges a fixed DRAM latency.  This optional model adds
+the first-order bandwidth effect: each channel serves one 64 B line per
+``service_cycles``; when requests arrive faster than the channels drain,
+queueing delay grows.  Requests are assigned to channels by address, and
+each channel keeps a "next free" timestamp — a classic M/D/1-flavoured
+approximation that is cheap enough for the event model.
+
+Enable by constructing the MemorySystem with a HardwareConfig whose
+``dram_channels > 0`` (the default Table II machine has 12).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class DRAMModel:
+    """Per-channel queueing on top of a fixed access latency."""
+
+    def __init__(
+        self,
+        channels: int = 12,
+        base_latency: int = 180,
+        service_cycles: float = 8.0,
+    ) -> None:
+        if channels < 1:
+            raise ValueError("channels must be >= 1")
+        if service_cycles <= 0:
+            raise ValueError("service_cycles must be positive")
+        self.channels = channels
+        self.base_latency = base_latency
+        #: cycles between line transfers on one channel: 64 B per burst at
+        #: DDR4-2400 is ~3.3 ns ~= 8 core cycles at 2.5 GHz
+        self.service_cycles = service_cycles
+        self._next_free: List[float] = [0.0] * channels
+        self.requests = 0
+        self.queueing_cycles = 0.0
+
+    def channel_of(self, line: int) -> int:
+        return (line ^ (line >> 5)) % self.channels
+
+    def access(self, line: int, now: float) -> float:
+        """Latency of a DRAM access to ``line`` issued at time ``now``."""
+        channel = self.channel_of(line)
+        start = max(now, self._next_free[channel])
+        queue_delay = start - now
+        self._next_free[channel] = start + self.service_cycles
+        self.requests += 1
+        self.queueing_cycles += queue_delay
+        return self.base_latency + queue_delay
+
+    def average_queueing(self) -> float:
+        return self.queueing_cycles / self.requests if self.requests else 0.0
+
+    def reset(self) -> None:
+        self._next_free = [0.0] * self.channels
+        self.requests = 0
+        self.queueing_cycles = 0.0

@@ -1,0 +1,173 @@
+"""The simulated memory subsystem: per-core L1D/L2, shared banked L3, DRAM.
+
+``access()`` walks the hierarchy for one byte address and returns the latency
+in cycles, charging NoC hops between the core tile and the owning L3 bank
+(Table II parameters).  Coherence is approximated: lines are private to the
+accessing core's L1/L2 and a remote write simply invalidates nothing — the
+paper's phenomena come from locality and DRAM pressure, which this captures;
+full MESI is out of scope for a cycle-approximate model (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .cache import Cache
+from .config import HardwareConfig
+from .dram import DRAMModel
+from .noc import MeshNoC
+
+
+class AccessStats:
+    """Aggregate counters for energy accounting and reports."""
+
+    __slots__ = ("l1_hits", "l2_hits", "l3_hits", "dram_accesses", "noc_hop_count")
+
+    def __init__(self) -> None:
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.l3_hits = 0
+        self.dram_accesses = 0
+        self.noc_hop_count = 0
+
+    def merged_with(self, other: "AccessStats") -> "AccessStats":
+        out = AccessStats()
+        for field in self.__slots__:
+            setattr(out, field, getattr(self, field) + getattr(other, field))
+        return out
+
+    def as_dict(self) -> Dict[str, int]:
+        return {field: getattr(self, field) for field in self.__slots__}
+
+
+class MemorySystem:
+    """One memory hierarchy instance shared by all simulated cores."""
+
+    def __init__(self, config: HardwareConfig) -> None:
+        self.config = config
+        line = config.line_bytes
+        self._line_shift = line.bit_length() - 1
+        self.l1: List[Cache] = [
+            Cache(config.l1d, line) for _ in range(config.num_cores)
+        ]
+        self.l2: List[Cache] = [
+            Cache(config.l2, line) for _ in range(config.num_cores)
+        ]
+        # The shared L3 is modelled as independent banks; the bank is chosen
+        # by line address, as hashed set-associative LLCs do.
+        bank_cfg = config.l3
+        per_bank = max(
+            config.line_bytes * bank_cfg.ways,
+            bank_cfg.size_bytes // config.l3_banks,
+        )
+        from dataclasses import replace
+
+        self.l3: List[Cache] = [
+            Cache(replace(bank_cfg, size_bytes=per_bank), line)
+            for _ in range(config.l3_banks)
+        ]
+        self.noc = MeshNoC(
+            config.mesh_width, config.mesh_height, config.noc_hop_cycles
+        )
+        self.stats = AccessStats()
+        #: optional bandwidth-aware DRAM (config.dram_channels > 0)
+        self.dram: Optional[DRAMModel] = (
+            DRAMModel(config.dram_channels, config.dram_latency)
+            if config.dram_channels > 0
+            else None
+        )
+        # hot-path lookups, precomputed once
+        self._l1_lat = config.l1d.latency
+        self._l2_lat = config.l2.latency
+        self._l3_lat = config.l3.latency
+        self._dram_lat = config.dram_latency
+        self._hop_cycles = config.noc_hop_cycles
+        self._hops = [
+            [self.noc.hops(core, bank) for bank in range(config.l3_banks)]
+            for core in range(config.num_cores)
+        ]
+
+    # ------------------------------------------------------------------
+    def line_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def _bank_of(self, line: int) -> int:
+        # Hash the line to spread consecutive lines over banks.
+        return (line ^ (line >> 7)) % self.config.l3_banks
+
+    # ------------------------------------------------------------------
+    def access(
+        self, core: int, addr: int, write: bool = False, now: float = 0.0
+    ) -> float:
+        """Walk the hierarchy for one address; returns latency in cycles.
+
+        ``now`` (the requester's clock) only matters when the bandwidth-
+        aware DRAM model is enabled: it determines channel queueing."""
+        stats = self.stats
+        line = addr >> self._line_shift
+        cycles = self._l1_lat
+        if self.l1[core].access(line, write):
+            stats.l1_hits += 1
+            return cycles
+        cycles += self._l2_lat
+        if self.l2[core].access(line, write):
+            stats.l2_hits += 1
+            return cycles
+        bank = (line ^ (line >> 7)) % self.config.l3_banks
+        hops = self._hops[core][bank]
+        stats.noc_hop_count += 2 * hops
+        cycles += 2 * hops * self._hop_cycles + self._l3_lat
+        l3_bank = self.l3[bank]
+        index = line & (l3_bank.num_sets - 1)
+        hit = l3_bank.access(line, write)
+        l3_bank.note_duel_outcome(index, hit)
+        if hit:
+            stats.l3_hits += 1
+            return cycles
+        stats.dram_accesses += 1
+        if self.dram is not None:
+            return cycles + self.dram.access(line, now + cycles)
+        return cycles + self._dram_lat
+
+    def access_range(self, core: int, addr: int, nbytes: int, write: bool = False) -> int:
+        """Touch every line covered by ``[addr, addr + nbytes)``."""
+        if nbytes <= 0:
+            return 0
+        first = addr >> self._line_shift
+        last = (addr + nbytes - 1) >> self._line_shift
+        cycles = 0
+        line_bytes = self.config.line_bytes
+        for line in range(first, last + 1):
+            cycles += self.access(core, line << self._line_shift, write)
+        return cycles
+
+    def prefetch(self, core: int, addr: int) -> int:
+        """Install a line on behalf of a prefetch engine.
+
+        Returns the latency the *engine* pays; the core later hits in L2/L1.
+        The DepGraph engine 'issues the instructions to access the data from
+        the L2 cache' (Section III-B), so fills land in the core's L2.
+        """
+        return self.access(core, addr, write=False)
+
+    # ------------------------------------------------------------------
+    def add_hot_range(self, begin_addr: int, end_addr: int) -> None:
+        """Register a GRASP hot region (applies to the shared L3)."""
+        begin_line = begin_addr >> self._line_shift
+        end_line = (end_addr + self.config.line_bytes - 1) >> self._line_shift
+        for bank in self.l3:
+            bank.add_hot_range(begin_line, end_line)
+
+    def cache_stats(self) -> Dict[str, float]:
+        l1_acc = sum(c.accesses for c in self.l1)
+        l2_acc = sum(c.accesses for c in self.l2)
+        l3_acc = sum(c.accesses for c in self.l3)
+        l1_hit = sum(c.hits for c in self.l1)
+        l2_hit = sum(c.hits for c in self.l2)
+        l3_hit = sum(c.hits for c in self.l3)
+        return {
+            "l1_hit_rate": l1_hit / l1_acc if l1_acc else 0.0,
+            "l2_hit_rate": l2_hit / l2_acc if l2_acc else 0.0,
+            "l3_hit_rate": l3_hit / l3_acc if l3_acc else 0.0,
+            "dram_accesses": float(self.stats.dram_accesses),
+        }

@@ -1,0 +1,80 @@
+"""Byte-address layout of the simulated software data structures.
+
+The cache model needs real addresses.  Every logical array used by the
+runtimes (the CSR arrays of Figure 2, the vertex state arrays, per-core
+queues, and the hub index) is assigned a disjoint region of a flat address
+space; helpers map element indices to byte addresses.
+
+Element sizes follow the paper's CSR description: 8-byte offsets, 8-byte
+edge targets, 8-byte weights, 8-byte vertex states/deltas, and hub-index
+entries of <j, i, l, mu, xi> = 40 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.csr import CSRGraph
+
+_REGION_ALIGN = 1 << 24  # 16 MB between regions keeps index bits distinct
+
+
+@dataclass(frozen=True)
+class ArrayRegion:
+    """A typed array living at ``base`` with ``stride`` bytes per element."""
+
+    name: str
+    base: int
+    stride: int
+    length: int
+
+    def addr(self, index: int) -> int:
+        return self.base + index * self.stride
+
+    @property
+    def end(self) -> int:
+        return self.base + self.length * self.stride
+
+
+class MemoryLayout:
+    """Address assignment for one runtime instance over one graph."""
+
+    HUB_ENTRY_BYTES = 40
+
+    def __init__(self, graph: CSRGraph, num_cores: int, hub_entries: int = 0):
+        n, m = graph.num_vertices, graph.num_edges
+        cursor = _REGION_ALIGN
+
+        def region(name: str, stride: int, length: int) -> ArrayRegion:
+            nonlocal cursor
+            r = ArrayRegion(name, cursor, stride, max(length, 1))
+            cursor += ((r.end - r.base) // _REGION_ALIGN + 1) * _REGION_ALIGN
+            return r
+
+        #: CSR offset array (Figure 2)
+        self.offsets = region("offsets", 8, n + 1)
+        #: CSR edge array (targets)
+        self.targets = region("targets", 8, m)
+        #: CSR edge weights
+        self.weights = region("weights", 8, m)
+        #: vertex state array
+        self.states = region("states", 8, n)
+        #: vertex delta array (the second state array of incremental pagerank)
+        self.deltas = region("deltas", 8, n)
+        #: per-core local circular queues, one slot per vertex for simplicity
+        self.queues = region("queues", 8, num_cores * max(n // max(num_cores, 1), 64))
+        #: the hub index key-value table
+        self.hub_index = region("hub_index", self.HUB_ENTRY_BYTES, hub_entries)
+        #: the hash table mapping hub vertex -> hub-index offsets
+        self.hub_hash = region("hub_hash", 24, max(hub_entries, 1))
+        #: the H'' membership bitmap passed via DEP_configure()
+        self.hub_bitmap = region("hub_bitmap", 1, (n + 7) // 8)
+
+    def hub_index_addr(self, entry: int) -> int:
+        return self.hub_index.addr(entry % max(self.hub_index.length, 1))
+
+    def hub_hash_addr(self, vertex: int) -> int:
+        return self.hub_hash.addr(vertex % max(self.hub_hash.length, 1))
+
+    def bitmap_addr(self, vertex: int) -> int:
+        return self.hub_bitmap.addr(vertex // 8)

@@ -1,0 +1,46 @@
+"""Mesh network-on-chip hop model (Table II: 8x8 mesh, X-Y routing,
+3 cycles/hop, 512-bit links).
+
+Cores and L3 banks are laid out over the same mesh; a core's L3 access pays
+the X-Y Manhattan distance to the owning bank in both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MeshNoC:
+    width: int = 8
+    height: int = 8
+    hop_cycles: int = 3
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1 or self.hop_cycles < 0:
+            raise ValueError("invalid mesh parameters")
+
+    def position(self, node: int) -> tuple:
+        """Grid coordinates of node ``node`` (row-major placement)."""
+        node %= self.width * self.height
+        return node % self.width, node // self.width
+
+    def hops(self, src: int, dst: int) -> int:
+        """X-Y routed Manhattan hop count between two nodes."""
+        sx, sy = self.position(src)
+        dx, dy = self.position(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def latency(self, src: int, dst: int, round_trip: bool = True) -> int:
+        """Cycles spent traversing the mesh for one transaction."""
+        hops = self.hops(src, dst)
+        return hops * self.hop_cycles * (2 if round_trip else 1)
+
+    def average_latency(self) -> float:
+        """Mean round-trip latency over uniformly random node pairs, used by
+        the fast (non-tag-accurate) timing mode."""
+        nodes = self.width * self.height
+        total = sum(
+            self.hops(a, b) for a in range(nodes) for b in range(nodes)
+        )
+        return 2 * self.hop_cycles * total / (nodes * nodes)

@@ -1,0 +1,18 @@
+"""Measurement helpers shared by the experiment harness."""
+
+from .charts import bar_chart, grouped_bar_chart, render_table_chart, sparkline
+from .report import format_table
+from .utilization import UtilizationBreakdown, utilization_breakdown
+from .validation import states_match, max_state_error
+
+__all__ = [
+    "bar_chart",
+    "grouped_bar_chart",
+    "render_table_chart",
+    "sparkline",
+    "format_table",
+    "UtilizationBreakdown",
+    "utilization_breakdown",
+    "states_match",
+    "max_state_error",
+]

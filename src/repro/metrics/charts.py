@@ -1,0 +1,98 @@
+"""ASCII chart rendering for experiment tables.
+
+The harness is headless (no matplotlib in the offline environment), so the
+figures are rendered as labelled text bar charts — enough to eyeball the
+shapes the paper plots (grouped bars for Figures 9-12, lines-as-bars for
+the sweeps).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+#: glyph used for bar bodies
+BAR = "#"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 48,
+    fmt: str = "{:.3g}",
+) -> str:
+    """Horizontal bar chart of label -> value (values must be >= 0)."""
+    if not values:
+        return title
+    peak = max(values.values())
+    if peak < 0:
+        raise ValueError("bar_chart needs non-negative values")
+    label_width = max(len(str(label)) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        if value < 0:
+            raise ValueError("bar_chart needs non-negative values")
+        length = int(round(width * value / peak)) if peak else 0
+        lines.append(
+            f"{str(label).ljust(label_width)} |{BAR * length} " + fmt.format(value)
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    rows: Sequence[Sequence[object]],
+    group_index: int = 0,
+    label_index: int = 1,
+    value_index: int = 2,
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render table rows as bars grouped by one column.
+
+    e.g. Figure 11 rows (algorithm, dataset, speedup...) grouped by
+    algorithm with one bar per dataset.
+    """
+    groups: dict = {}
+    for row in rows:
+        groups.setdefault(str(row[group_index]), {})[str(row[label_index])] = float(
+            row[value_index]
+        )
+    sections = [title] if title else []
+    for group, values in groups.items():
+        sections.append(f"[{group}]")
+        sections.append(bar_chart(values, width=width))
+    return "\n".join(sections)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line trend glyph string (for per-round activity logs)."""
+    glyphs = " .:-=+*#%@"
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    span = high - low
+    if span == 0:
+        return glyphs[5] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - low) / span * (len(glyphs) - 1))
+        out.append(glyphs[idx])
+    return "".join(out)
+
+
+def render_table_chart(
+    table,
+    value_header: str,
+    label_header: Optional[str] = None,
+    width: int = 48,
+) -> str:
+    """Chart one column of an :class:`ExperimentTable` against another."""
+    headers = list(table.headers)
+    value_idx = headers.index(value_header)
+    label_idx = headers.index(label_header) if label_header else 0
+    values = {
+        str(row[label_idx]): float(row[value_idx])
+        for row in table.rows
+        if isinstance(row[value_idx], (int, float))
+    }
+    return bar_chart(values, title=f"{table.experiment_id}: {value_header}", width=width)

@@ -1,0 +1,32 @@
+"""Plain-text table formatting for the experiment harness output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], precision: int = 3
+) -> str:
+    """Render rows as an aligned monospace table (numbers get fixed
+    precision; everything else str())."""
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    str_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, text in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(text))
+            else:
+                widths.append(len(text))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(text.ljust(widths[i]) for i, text in enumerate(cells))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,40 @@
+"""The utilization breakdown of Section II (Figures 4a and 12).
+
+``r_e = u_s * U / u_d`` approximates the core utilization spent on *useful*
+updates, where ``u_s`` is the update count of the sequential asynchronous
+baseline, ``u_d`` the system's update count, and ``U`` its total utilization;
+``r_u = U - r_e`` is the share wasted on unnecessary updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..runtime.stats import ExecutionResult
+
+
+@dataclass(frozen=True)
+class UtilizationBreakdown:
+    system: str
+    total: float
+    useful: float
+
+    @property
+    def useless(self) -> float:
+        return self.total - self.useful
+
+    @property
+    def useful_update_ratio(self) -> float:
+        """u_s / u_d: the fraction of updates that were necessary."""
+        return self.useful / self.total if self.total else 0.0
+
+
+def utilization_breakdown(
+    result: ExecutionResult, sequential_updates: int
+) -> UtilizationBreakdown:
+    """Compute the (U, r_e) pair for one execution."""
+    return UtilizationBreakdown(
+        system=result.system,
+        total=result.utilization(),
+        useful=result.effective_utilization(sequential_updates),
+    )

@@ -1,0 +1,36 @@
+"""Final-state validation against the reference solvers.
+
+Every runtime must converge to the same fixpoint; these helpers quantify the
+disagreement, with tolerances scaled to the activation threshold epsilon for
+sum-type algorithms (threshold-based asynchronous execution legitimately
+leaves sub-epsilon residuals parked in pending deltas).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def max_state_error(measured: np.ndarray, expected: np.ndarray) -> float:
+    """Largest absolute disagreement, treating matching infinities as 0."""
+    measured = np.asarray(measured, dtype=np.float64)
+    expected = np.asarray(expected, dtype=np.float64)
+    if measured.shape != expected.shape:
+        raise ValueError("state arrays must align")
+    error = 0.0
+    for m, e in zip(measured, expected):
+        if math.isinf(m) or math.isinf(e):
+            if m != e:
+                return math.inf
+            continue
+        error = max(error, abs(m - e))
+    return error
+
+
+def states_match(
+    measured: np.ndarray, expected: np.ndarray, tol: float = 1e-3
+) -> bool:
+    """Whether two final-state vectors agree within ``tol``."""
+    return max_state_error(measured, expected) <= tol

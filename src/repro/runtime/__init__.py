@@ -1,0 +1,32 @@
+"""Execution runtimes: software baselines, accelerated baselines, DepGraph."""
+
+from .context import SimContext
+from .depgraph_rt import DepGraphOptions, run_depgraph, run_sequential
+from .minnow_rt import run_minnow
+from .registry import (
+    ACCELERATOR_SYSTEMS,
+    SOFTWARE_SYSTEMS,
+    SYSTEM_NAMES,
+    run,
+    run_many,
+)
+from .roundbased import POLICIES, RoundPolicy, run_roundbased
+from .stats import ExecutionResult, RoundLog
+
+__all__ = [
+    "SimContext",
+    "DepGraphOptions",
+    "run_depgraph",
+    "run_sequential",
+    "run_minnow",
+    "ACCELERATOR_SYSTEMS",
+    "SOFTWARE_SYSTEMS",
+    "SYSTEM_NAMES",
+    "run",
+    "run_many",
+    "POLICIES",
+    "RoundPolicy",
+    "run_roundbased",
+    "ExecutionResult",
+    "RoundLog",
+]

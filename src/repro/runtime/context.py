@@ -1,0 +1,280 @@
+"""Shared simulation context for all runtimes.
+
+``SimContext`` owns the simulated machine state for one execution: the
+(possibly symmetrised) graph, the memory hierarchy, the address layout, the
+vertex state/delta arrays, per-core clocks, and the category-split cycle
+accounting (compute vs memory vs overhead) that feeds Figure 9's breakdown.
+
+All runtimes charge costs exclusively through this object so that the
+figures compare like with like.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+from ..algorithms.base import Algorithm
+from ..algorithms.detect import AccumKind, detect_accum_kind
+from ..algorithms.reference import symmetrize
+from ..graph.csr import CSRGraph
+from ..graph.partition import Partitioning, by_edge_count
+from ..hardware.config import HardwareConfig
+from ..hardware.hierarchy import MemorySystem
+from ..hardware.layout import MemoryLayout
+from .stats import ExecutionResult, RoundLog
+
+#: cycles to cross a barrier at round end (sync flag + fence)
+BARRIER_CYCLES = 200
+#: extra barrier cost per doubling of the core count
+BARRIER_PER_LOG_CORE = 40
+#: cycles a thief spends stealing work
+STEAL_CYCLES = 120
+#: flat per-access memory cost used by the "fast" fidelity mode (roughly
+#: the detailed model's average across hit levels)
+FAST_MEM_CYCLES = 24.0
+
+
+class SimContext:
+    """Mutable simulation state for one run."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        algorithm: Algorithm,
+        hardware: HardwareConfig,
+        system: str,
+        simd: bool = True,
+    ) -> None:
+        if getattr(algorithm, "needs_symmetric", False):
+            graph = symmetrize(graph)
+        if algorithm.needs_weights and not graph.is_weighted:
+            raise ValueError(
+                f"{algorithm.name} needs edge weights; build the graph with "
+                "weighted=True"
+            )
+        self.graph = graph
+        self.algorithm = algorithm
+        self.hardware = hardware
+        self.system = system
+        self.simd = simd
+        self.timing = hardware.timing
+        self.num_cores = hardware.num_cores
+        self.fast = hardware.fidelity == "fast"
+        self.memsys = MemorySystem(hardware)
+        self.layout = MemoryLayout(graph, hardware.num_cores)
+        self.partitioning: Partitioning = by_edge_count(graph, hardware.num_cores)
+        self._owner = [
+            self.partitioning.owner_of(v) for v in range(graph.num_vertices)
+        ]
+
+        n = graph.num_vertices
+        self.states: List[float] = [
+            algorithm.initial_state(v, graph) for v in range(n)
+        ]
+        self.pending: List[float] = [
+            algorithm.initial_delta(v, graph) for v in range(n)
+        ]
+        self.propval: List[float] = [0.0] * n
+        self.identity = algorithm.identity()
+        self.accum_kind = detect_accum_kind(algorithm)
+        self.is_sum = self.accum_kind is AccumKind.SUM
+
+        # per-core clocks and category accounting
+        cores = self.num_cores
+        self.clock: List[float] = [0.0] * cores
+        self.compute: List[float] = [0.0] * cores
+        self.mem: List[float] = [0.0] * cores
+        self.overhead: List[float] = [0.0] * cores
+        #: share of self.mem spent on the vertex state/delta arrays — this
+        #: plus compute is the paper's "vertex state processing time"
+        self.state_mem: List[float] = [0.0] * cores
+
+        # global counters
+        self.updates = 0
+        self.edge_ops = 0
+        self.rounds = 0
+        self.round_log: List[RoundLog] = []
+        self.engine_ops = 0
+        self.shortcut_applications = 0
+
+        # staged cross-core delta visibility (see class docstring of
+        # StagedDeltas): used by the frontier/worklist systems, where a
+        # core's scatters to remote vertices sit in its private cache until
+        # a visibility point — the source of the paper's stale-state
+        # redundant updates.
+        self.staged: List[dict] = [dict() for _ in range(cores)]
+
+    # ------------------------------------------------------------------
+    # Charging primitives.
+    # ------------------------------------------------------------------
+    def charge_mem(
+        self, core: int, addr: int, write: bool = False, state: bool = False
+    ) -> float:
+        if self.fast:
+            cycles = FAST_MEM_CYCLES
+        else:
+            cycles = self.memsys.access(core, addr, write, now=self.clock[core])
+        self.clock[core] += cycles
+        self.mem[core] += cycles
+        if state:
+            self.state_mem[core] += cycles
+        return cycles
+
+    def charge_rmw(self, core: int, addr: int, state: bool = True) -> float:
+        """A read-modify-write to one location (scatter accumulation): one
+        hierarchy walk; the write hits the just-installed line.  Scatters
+        target the delta array, so they count as state traffic by default."""
+        if self.fast:
+            cycles = FAST_MEM_CYCLES + 1
+        else:
+            cycles = self.memsys.access(core, addr, write=True, now=self.clock[core]) + 1
+        self.clock[core] += cycles
+        self.mem[core] += cycles
+        if state:
+            self.state_mem[core] += cycles
+        return cycles
+
+    def charge_compute(self, core: int, cycles: float) -> None:
+        if self.simd:
+            cycles /= self.timing.simd_factor
+        self.clock[core] += cycles
+        self.compute[core] += cycles
+
+    def charge_overhead(self, core: int, cycles: float) -> None:
+        self.clock[core] += cycles
+        self.overhead[core] += cycles
+
+    def mem_cost(self, core: int, addr: int, write: bool = False) -> float:
+        """Memory access whose latency the caller will attribute itself
+        (used by engine timelines that run off the core clock)."""
+        if self.fast:
+            return FAST_MEM_CYCLES
+        return self.memsys.access(core, addr, write, now=self.clock[core])
+
+    # ------------------------------------------------------------------
+    # Vertex primitives.
+    # ------------------------------------------------------------------
+    def initial_frontier(self) -> List[int]:
+        graph, algorithm = self.graph, self.algorithm
+        return [
+            v
+            for v in range(graph.num_vertices)
+            if algorithm.initial_active(v, graph)
+        ]
+
+    def owner_of(self, vertex: int) -> int:
+        return self._owner[vertex]
+
+    def significant(self, delta: float, vertex: int) -> bool:
+        return self.algorithm.is_significant(delta, self.states[vertex])
+
+    def apply_vertex(self, vertex: int, delta: float) -> float:
+        """Apply ``delta`` to the vertex state; returns the propagate value
+        and records it in ``propval``.  Pure state change — charging is the
+        caller's job."""
+        algorithm = self.algorithm
+        old = self.states[vertex]
+        new = algorithm.apply(old, delta)
+        self.states[vertex] = new
+        value = algorithm.propagate_value(vertex, old, new, self.graph)
+        self.propval[vertex] = value
+        self.updates += 1
+        return value
+
+    # ------------------------------------------------------------------
+    # Staged delta visibility.
+    #
+    # Real many-core systems do not make one core's scatter instantly
+    # visible to the others: the delta sits in the writer's private cache
+    # (or a software per-thread buffer) until coherence/synchronisation
+    # publishes it.  Section II's "stale state" redundant updates come from
+    # exactly this window.  Frontier/worklist runtimes therefore scatter
+    # into a per-core staged map and publish at visibility points (every
+    # ``flush_interval`` processed vertices for asynchronous systems, only
+    # at the barrier for BSP ones).  DepGraph's chain processing keeps
+    # propagation core-local and explicit, so it writes ``pending``
+    # directly.
+    # ------------------------------------------------------------------
+    def visible_pending(self, core: int, vertex: int, own: bool = True) -> float:
+        """The pending delta ``core`` can observe for ``vertex``."""
+        value = self.pending[vertex]
+        if own:
+            staged = self.staged[core].get(vertex)
+            if staged is not None:
+                value = self.algorithm.accum(value, staged)
+        return value
+
+    def stage_scatter(self, core: int, vertex: int, influence: float) -> float:
+        """Fold ``influence`` into the core's staged view of ``vertex``;
+        returns the value now visible to this core."""
+        staged = self.staged[core]
+        prior = staged.get(vertex)
+        folded = influence if prior is None else self.algorithm.accum(prior, influence)
+        staged[vertex] = folded
+        return self.algorithm.accum(self.pending[vertex], folded)
+
+    def consume_pending(self, core: int, vertex: int) -> None:
+        """The core applied the visible delta: clear what it could see."""
+        self.pending[vertex] = self.identity
+        self.staged[core].pop(vertex, None)
+
+    def flush_staged(self, core: int, on_significant: Optional[Callable[[int], None]] = None) -> None:
+        """Publish the core's staged deltas to the global pending array.
+
+        ``on_significant`` is invoked for every vertex whose published
+        pending is significant — the runtimes use it to (re-)activate
+        vertices whose influence arrived after they were processed.
+        """
+        staged = self.staged[core]
+        if not staged:
+            return
+        accum = self.algorithm.accum
+        pending = self.pending
+        for vertex, value in staged.items():
+            folded = accum(pending[vertex], value)
+            pending[vertex] = folded
+            if on_significant is not None and self.algorithm.is_significant(
+                folded, self.states[vertex]
+            ):
+                on_significant(vertex)
+        staged.clear()
+
+    def barrier(self) -> None:
+        """Synchronise all cores to the slowest and charge the barrier."""
+        peak = max(self.clock)
+        cost = BARRIER_CYCLES + BARRIER_PER_LOG_CORE * max(
+            1, int(math.log2(max(2, self.num_cores)))
+        )
+        for core in range(self.num_cores):
+            self.clock[core] = peak + cost
+            self.overhead[core] += cost
+
+    # ------------------------------------------------------------------
+    def result(self, converged: bool) -> ExecutionResult:
+        import numpy as np
+
+        return ExecutionResult(
+            system=self.system,
+            algorithm=self.algorithm.name,
+            states=np.asarray(self.states, dtype=np.float64),
+            total_updates=self.updates,
+            edge_operations=self.edge_ops,
+            rounds=self.rounds,
+            cycles=max(self.clock) if self.clock else 0.0,
+            core_busy=[
+                self.compute[c] + self.mem[c] + self.overhead[c]
+                for c in range(self.num_cores)
+            ],
+            compute_cycles=sum(self.compute),
+            memory_cycles=sum(self.mem),
+            state_memory_cycles=sum(self.state_mem),
+            overhead_cycles=sum(self.overhead),
+            num_cores=self.num_cores,
+            converged=converged,
+            mem_stats=self.memsys.cache_stats(),
+            access_counts=self.memsys.stats.as_dict(),
+            engine_ops=self.engine_ops,
+            round_log=self.round_log,
+            shortcut_applications=self.shortcut_applications,
+        )

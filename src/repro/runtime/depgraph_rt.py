@@ -1,0 +1,676 @@
+"""The dependency-driven asynchronous runtimes (Section III).
+
+One execution engine covers four published configurations:
+
+* **sequential** — one core, software walk, hub index off: the paper's
+  sequential asynchronous DFS baseline whose update count is ``u_s``;
+* **DepGraph-S** — all cores, software walk (the core pays traversal and
+  hub-index bookkeeping), hub index on;
+* **DepGraph-H** — all cores, hardware engines (HDTL fetches on the engine
+  timeline, overlapped with core compute; DDMU maintains the hub index);
+* **DepGraph-H-w** — DepGraph-H with the hub index disabled (Figure 11's
+  ablation).
+
+The graph is divided into several contiguous partitions per core (the
+software preprocessing of Section III-B); each partition has a local
+circular queue of active roots.  Popping a root applies its pending delta
+and walks the dependency chain depth-first *within the partition*, applying
+each significantly-updated vertex in chain order (observation one).  Chains
+end at partition boundaries (the owning core continues them) and at H''
+vertices, whose walked segments become core-paths: the DDMU turns them into
+hub-index shortcuts so a later activation of the head immediately
+influences the tail — typically on another core, which is where the extra
+parallelism comes from (observation two / Figure 5c).  Sum-type algorithms
+receive the shortcut influence twice (directly and along the chain) and are
+reconciled by the fictitious reset edge (Section III-B2).
+
+Unlike the frontier systems, chain propagation is core-local and explicit,
+so scatters commit directly instead of through the staged-visibility
+machinery — the locality/synchronisation advantage the paper claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..accel.depgraph.ddmu import DDMU
+from ..accel.depgraph.engine import DepGraphEngine, EngineConfig
+from ..accel.depgraph.hdtl import HDTL, EdgeFetch, PathEnd
+from ..accel.depgraph.hub_index import HubIndex
+from ..accel.depgraph.hubs import (
+    DEFAULT_BETA,
+    DEFAULT_LAMBDA,
+    HubSets,
+    select_hubs,
+)
+from ..accel.depgraph.queue import LocalCircularQueue
+from ..algorithms.base import Algorithm
+from ..graph.csr import CSRGraph
+from ..graph.partition import by_edge_count
+from ..hardware.config import HardwareConfig
+from .context import STEAL_CYCLES, SimContext
+from .stats import ExecutionResult, RoundLog
+
+DEFAULT_MAX_ROUNDS = 4000
+
+#: cycles for the core to pop one FIFO edge-buffer entry (DEP_FETCH_EDGE)
+BUFFER_POP_CYCLES = 2
+#: cycles to consume a fictitious reset edge
+RESET_EDGE_CYCLES = 2
+#: partitions per core (the paper assigns several partitions to each core
+#: and balances them by work stealing)
+PARTITIONS_PER_CORE = 4
+
+
+@dataclass(frozen=True)
+class DepGraphOptions:
+    """Configuration of the dependency-driven execution."""
+
+    hardware: bool = True
+    hub_enabled: bool = True
+    lam: float = DEFAULT_LAMBDA
+    beta: float = DEFAULT_BETA
+    stack_depth: int = 10
+    buffer_capacity: int = 24
+    ddmu_mode: str = "analytic"  # "analytic" | "learned"
+    simd: bool = True
+    work_stealing: bool = True
+    seed: int = 0
+
+
+SEQUENTIAL_OPTIONS = DepGraphOptions(
+    hardware=False, hub_enabled=False, simd=False, work_stealing=False
+)
+
+
+class _DepGraphExecution:
+    def __init__(
+        self,
+        graph: CSRGraph,
+        algorithm: Algorithm,
+        hardware: HardwareConfig,
+        options: DepGraphOptions,
+        system: str,
+        max_rounds: int,
+    ) -> None:
+        self.options = options
+        self.max_rounds = max_rounds
+        self.ctx = SimContext(graph, algorithm, hardware, system, options.simd)
+        ctx = self.ctx
+        cores = ctx.num_cores
+
+        # --- software preprocessing: partitions + hub vertices (one pass) --
+        if cores == 1:
+            part_count = 1
+        else:
+            part_count = min(
+                PARTITIONS_PER_CORE * cores,
+                max(cores, ctx.graph.num_vertices // 16 or 1),
+            )
+        self.partitioning = by_edge_count(ctx.graph, part_count)
+        self.part_count = len(self.partitioning)
+        self._vertex_part = [
+            self.partitioning.owner_of(v)
+            for v in range(ctx.graph.num_vertices)
+        ]
+        #: partition -> owning core (rebalanced by work stealing)
+        self.part_owner: List[int] = [
+            p % cores for p in range(self.part_count)
+        ]
+        self.core_parts: List[List[int]] = [[] for _ in range(cores)]
+        for p, owner in enumerate(self.part_owner):
+            self.core_parts[owner].append(p)
+        self.queues: List[LocalCircularQueue] = [
+            LocalCircularQueue(p) for p in range(self.part_count)
+        ]
+        self.current_part: List[Optional[int]] = [None] * cores
+
+        hubs = (
+            select_hubs(ctx.graph, options.lam, options.beta, options.seed)
+            if options.hub_enabled
+            else set()
+        )
+        self.hubsets = HubSets(hubs)
+        self.hub_index = HubIndex()
+        self.ddmu = DDMU(
+            ctx.graph, ctx.algorithm, self.hub_index, mode=options.ddmu_mode
+        )
+        self.hub_active = options.hub_enabled and self.ddmu.enabled
+        if self.hub_active and hardware.l3.policy == "grasp":
+            # GRASP hot-region hints (Figure 16b): pin the hub index and its
+            # hash table, the structures most state propagations traverse.
+            ctx.memsys.add_hot_range(
+                ctx.layout.hub_index.base, ctx.layout.hub_index.end
+            )
+            ctx.memsys.add_hot_range(
+                ctx.layout.hub_hash.base, ctx.layout.hub_hash.end
+            )
+        #: which core-path currently claims each intermediate vertex; a
+        #: second claim promotes the vertex to core-vertex (Definition 2)
+        self.claimed: Dict[int, Tuple[int, int, int]] = {}
+
+        membership = self.hubsets.__contains__
+        if options.hardware:
+            self.engines: Optional[List[DepGraphEngine]] = [
+                DepGraphEngine(
+                    core,
+                    ctx.graph,
+                    ctx.memsys,
+                    ctx.layout,
+                    membership,
+                    EngineConfig(
+                        self.partitioning[self.core_parts[core][0]]
+                        if self.core_parts[core]
+                        else self.partitioning[0],
+                        stack_depth=options.stack_depth,
+                        buffer_capacity=options.buffer_capacity,
+                    ),
+                )
+                for core in range(cores)
+            ]
+            self.walkers = [engine.hdtl for engine in self.engines]
+        else:
+            self.engines = None
+            self.walkers = [
+                HDTL(
+                    ctx.graph,
+                    membership,
+                    stack_depth=options.stack_depth,
+                    fetch=self._software_fetch_for(core),
+                )
+                for core in range(cores)
+            ]
+        # line-batched fetch dedup state, one per core: kind -> last line
+        self._last_fetch_line: List[Dict[str, int]] = [
+            {} for _ in range(cores)
+        ]
+        for core, walker in enumerate(self.walkers):
+            walker.in_partition = self._partition_check_for(core)
+        if self.engines is not None:
+            for core, engine in enumerate(self.engines):
+                engine.hdtl.fetch = self._filtered_engine_fetch(core, engine)
+        self.visited: Set[int] = set()
+        self._expected_resets: Dict[Tuple[int, int, int], float] = {}
+        self._learning_entries: Set[Tuple[int, int, int]] = set()
+
+    # ------------------------------------------------------------------
+    def _partition_check_for(self, core: int):
+        def check(vertex: int) -> bool:
+            part = self.current_part[core]
+            if part is None:
+                return True
+            partition = self.partitioning[part]
+            return partition.begin <= vertex < partition.end
+
+        return check
+
+    def _software_fetch_for(self, core: int):
+        ctx = self.ctx
+        layout = ctx.layout
+        line = ctx.hardware.line_bytes
+
+        def fetch(kind: str, index: int) -> None:
+            if kind == "offset":
+                addr = layout.offsets.addr(index)
+            elif kind == "neighbor":
+                addr = layout.targets.addr(index)
+            elif kind == "weight":
+                addr = layout.weights.addr(index)
+            else:
+                addr = layout.states.addr(index)
+            # successive fetches of the same cache line are free, matching
+            # the per-line charging of the frontier runtimes
+            last = self._last_fetch_line[core]
+            addr_line = addr // line
+            if last.get(kind) == addr_line and kind != "state":
+                return
+            last[kind] = addr_line
+            ctx.charge_mem(core, addr)
+
+        return fetch
+
+    def _filtered_engine_fetch(self, core: int, engine: DepGraphEngine):
+        def fetch(kind: str, index: int) -> None:
+            if self._engine_fetch_filter(core, kind, index):
+                engine._charge_fetch(kind, index)
+
+        return fetch
+
+    def _engine_fetch_filter(self, core: int, kind: str, index: int) -> bool:
+        """Line dedup for the hardware engine's fetch stream."""
+        layout = self.ctx.layout
+        line = self.ctx.hardware.line_bytes
+        if kind == "offset":
+            addr = layout.offsets.addr(index)
+        elif kind == "neighbor":
+            addr = layout.targets.addr(index)
+        elif kind == "weight":
+            addr = layout.weights.addr(index)
+        else:
+            return True
+        last = self._last_fetch_line[core]
+        addr_line = addr // line
+        if last.get(kind) == addr_line:
+            return False
+        last[kind] = addr_line
+        return True
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExecutionResult:
+        ctx = self.ctx
+        for vertex in ctx.initial_frontier():
+            self.queues[self._vertex_part[vertex]].push_current(vertex)
+        converged = True
+        for round_index in range(self.max_rounds):
+            if all(q.current_empty for q in self.queues):
+                promoted = sum(q.advance_round() for q in self.queues)
+                if promoted == 0:
+                    break
+            ctx.rounds = round_index + 1
+            start_peak = max(ctx.clock)
+            updates_before = ctx.updates
+            active = sum(q.current_size() for q in self.queues)
+            self.visited = set()
+            self._run_round()
+            if self.options.ddmu_mode == "learned":
+                self._observe_learning_entries()
+            ctx.barrier()
+            ctx.round_log.append(
+                RoundLog(
+                    round_index,
+                    active,
+                    ctx.updates - updates_before,
+                    max(ctx.clock) - start_peak,
+                )
+            )
+        else:
+            converged = False
+        if self.engines is not None:
+            ctx.engine_ops += sum(engine.ops for engine in self.engines)
+        result = ctx.result(converged)
+        result.hub_index_entries = len(self.hub_index)
+        result.hub_index_bytes = self.hub_index.memory_bytes
+        result.extra["hub_vertices"] = float(len(self.hubsets.hubs))
+        result.extra["core_vertices"] = float(len(self.hubsets.core_vertices))
+        result.extra["hub_lookups"] = float(self.hub_index.lookups)
+        result.extra["partitions"] = float(self.part_count)
+        if self.engines is not None:
+            result.extra["engine_stall_cycles"] = float(
+                sum(engine.stall_cycles for engine in self.engines)
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Scheduling: cores drain their partitions' queues; idle cores steal
+    # whole partitions (the engine is then reconfigured for the new range).
+    # ------------------------------------------------------------------
+    def _core_has_work(self, core: int) -> bool:
+        return any(
+            not self.queues[p].current_empty for p in self.core_parts[core]
+        )
+
+    def _pick_part(self, core: int) -> Optional[int]:
+        current = self.current_part[core]
+        if current is not None and self.part_owner[current] == core:
+            if not self.queues[current].current_empty:
+                return current
+        for part in self.core_parts[core]:
+            if not self.queues[part].current_empty:
+                return part
+        return None
+
+    def _switch_part(self, core: int, part: int) -> None:
+        if self.current_part[core] == part:
+            return
+        self.current_part[core] = part
+        self._last_fetch_line[core].clear()
+        if self.engines is not None:
+            engine = self.engines[core]
+            engine.configure(
+                EngineConfig(
+                    self.partitioning[part],
+                    stack_depth=self.options.stack_depth,
+                    buffer_capacity=self.options.buffer_capacity,
+                )
+            )
+        else:
+            self.ctx.charge_overhead(core, 8)
+
+    def _run_round(self) -> None:
+        ctx = self.ctx
+        cores = range(ctx.num_cores)
+        while True:
+            candidates = [c for c in cores if self._core_has_work(c)]
+            if not candidates:
+                break
+            if self.options.work_stealing and len(candidates) < ctx.num_cores:
+                self._maybe_steal(candidates)
+                candidates = [c for c in cores if self._core_has_work(c)]
+            core = min(candidates, key=lambda c: ctx.clock[c])
+            part = self._pick_part(core)
+            if part is None:  # pragma: no cover - defensive
+                continue
+            self._switch_part(core, part)
+            root = self.queues[part].pop()
+            if root is not None:
+                self._handle_root(core, root)
+
+    def _maybe_steal(self, candidates: List[int]) -> None:
+        """An idle core claims a pending partition from the busiest core."""
+        ctx = self.ctx
+
+        def load(core: int) -> int:
+            return sum(
+                self.queues[p].current_size() for p in self.core_parts[core]
+            )
+
+        busiest = max(candidates, key=load)
+        busy_parts = [
+            p
+            for p in self.core_parts[busiest]
+            if not self.queues[p].current_empty
+        ]
+        if len(busy_parts) < 2:
+            return
+        idle = [
+            c
+            for c in range(ctx.num_cores)
+            if not self._core_has_work(c) and ctx.clock[c] < ctx.clock[busiest]
+        ]
+        if not idle:
+            return
+        thief = min(idle, key=lambda c: ctx.clock[c])
+        part = busy_parts[-1]
+        self.core_parts[busiest].remove(part)
+        self.core_parts[thief].append(part)
+        self.part_owner[part] = thief
+        ctx.charge_overhead(thief, STEAL_CYCLES)
+
+    # ------------------------------------------------------------------
+    def _handle_root(self, core: int, root: int) -> None:
+        ctx = self.ctx
+        layout = ctx.layout
+        timing = ctx.timing
+
+        ctx.charge_overhead(core, timing.dispatch_op)
+        ctx.charge_mem(core, layout.queues.addr(core % layout.queues.length))
+        if root in self.visited:
+            if ctx.significant(ctx.pending[root], root):
+                self.queues[self._vertex_part[root]].push_next(root)
+            return
+        ctx.charge_mem(core, layout.deltas.addr(root), state=True)
+        ctx.charge_mem(core, layout.states.addr(root), state=True)
+        delta = ctx.pending[root]
+        if not ctx.significant(delta, root):
+            return
+        ctx.pending[root] = ctx.identity
+        value = ctx.apply_vertex(root, delta)
+        ctx.charge_mem(core, layout.states.addr(root), write=True, state=True)
+        ctx.charge_mem(core, layout.deltas.addr(root), write=True, state=True)
+        ctx.charge_compute(core, timing.update_op)
+
+        engine = self.engines[core] if self.engines is not None else None
+        if engine is not None:
+            engine.sync_to(ctx.clock[core])
+
+        self._expected_resets = {}
+        if self.hub_active and root in self.hubsets:
+            self._apply_shortcuts(core, root, value, engine)
+
+        if not (ctx.is_sum and value == 0.0):
+            self._walk_chain(core, root, engine)
+        # Every applied shortcut is balanced by exactly one fictitious reset
+        # edge ("only one copy of f finally affects v15", Section III-B2).
+        # Resets for core-paths the walk completed were consumed at their
+        # PathEnd; any leftover (the walk pruned the path, or reached the
+        # tail via a different core-path) is applied now so the shortcut's
+        # influence never double-counts.
+        for key, influence in self._expected_resets.items():
+            tail = key[1]
+            ctx.pending[tail] = ctx.pending[tail] - influence
+            ctx.charge_overhead(core, RESET_EDGE_CYCLES)
+            ctx.charge_mem(core, ctx.layout.deltas.addr(tail), write=True, state=True)
+            if ctx.significant(ctx.pending[tail], tail):
+                self._enqueue_active(core, tail)
+        self._expected_resets = {}
+
+    # ------------------------------------------------------------------
+    def _apply_shortcuts(
+        self, core: int, root: int, value: float, engine: Optional[DepGraphEngine]
+    ) -> None:
+        """Faster Propagation Based on Hub Index (Section III-B2)."""
+        ctx = self.ctx
+        timing = ctx.timing
+        layout = ctx.layout
+        entries = self.ddmu.shortcuts_for(root)
+        count = self.hub_index.head_entry_count(root)
+        if engine is not None:
+            engine.charge_hub_probe(root, count)
+            if engine.time > ctx.clock[core]:
+                ctx.charge_overhead(core, engine.time - ctx.clock[core])
+        else:
+            ctx.charge_mem(core, layout.hub_hash_addr(root))
+            for i in range(count):
+                ctx.charge_mem(core, layout.hub_index_addr(root * 7 + i))
+            ctx.charge_overhead(core, timing.sw_hub_op)
+        for entry in entries:
+            influence = self.ddmu.shortcut_influence(entry, value)
+            tail = entry.tail
+            ctx.pending[tail] = ctx.algorithm.accum(ctx.pending[tail], influence)
+            ctx.charge_rmw(core, layout.deltas.addr(tail))
+            ctx.charge_compute(core, timing.edge_op)
+            ctx.shortcut_applications += 1
+            if self.ddmu.needs_reset_edge:
+                self._expected_resets[entry.key] = influence
+            self._enqueue_active(core, tail)
+
+    def _enqueue_active(self, core: int, vertex: int) -> None:
+        """Insert ``vertex`` into its owning partition's circular queue
+        (current round when it has not been applied yet, else next round)."""
+        ctx = self.ctx
+        part = self._vertex_part[vertex]
+        owner_core = self.part_owner[part]
+        queue = self.queues[part]
+        ctx.charge_mem(
+            core,
+            ctx.layout.queues.addr(part % ctx.layout.queues.length),
+            write=True,
+        )
+        if vertex not in self.visited:
+            queue.push_current(vertex, remote=owner_core != core)
+        elif ctx.significant(ctx.pending[vertex], vertex):
+            queue.push_next(vertex, remote=owner_core != core)
+
+    # ------------------------------------------------------------------
+    def _walk_chain(
+        self, core: int, root: int, engine: Optional[DepGraphEngine]
+    ) -> None:
+        walker = self.walkers[core]
+        software = engine is None
+        root_is_hub = self.hub_active and root in self.hubsets
+
+        gen = walker.traverse(root, self.visited)
+        response: Optional[bool] = None
+        while True:
+            try:
+                event = gen.send(response) if response is not None else next(gen)
+            except StopIteration:
+                break
+            response = False
+            if isinstance(event, EdgeFetch):
+                response = self._on_edge(core, event, engine, software)
+            elif isinstance(event, PathEnd):
+                self._on_path_end(core, event, engine, root_is_hub)
+
+    def _on_edge(
+        self,
+        core: int,
+        event: EdgeFetch,
+        engine: Optional[DepGraphEngine],
+        software: bool,
+    ) -> bool:
+        ctx = self.ctx
+        algorithm = ctx.algorithm
+        layout = ctx.layout
+        timing = ctx.timing
+        source, target = event.source, event.target
+
+        if software:
+            # The core itself ran the four fetch stages (already charged via
+            # the fetch callback); add the software bookkeeping per edge.
+            ctx.charge_overhead(core, timing.sw_traverse_op)
+        else:
+            # DEP_FETCH_EDGE: pop the FIFO, stalling if the engine is behind.
+            ready = engine.edge_ready_time()
+            if ready > ctx.clock[core]:
+                ctx.charge_overhead(core, ready - ctx.clock[core])
+            ctx.charge_overhead(core, BUFFER_POP_CYCLES)
+            engine.note_consumed(ctx.clock[core])
+
+        value = ctx.propval[source]
+        influence = algorithm.edge_compute(source, value, event.weight, ctx.graph)
+        ctx.edge_ops += 1
+        ctx.charge_compute(core, timing.edge_op)
+        folded = algorithm.accum(ctx.pending[target], influence)
+        ctx.pending[target] = folded
+        # these hit the private cache when the engine prefetched the target's
+        # state/delta lines (FETCH_STATE); DepGraph-S pays the full walk
+        ctx.charge_rmw(core, layout.deltas.addr(target))
+        ctx.charge_mem(core, layout.states.addr(target), state=True)
+
+        significant = algorithm.is_significant(folded, ctx.states[target])
+        if not significant:
+            return False
+        if target in self.visited:
+            # Re-activation: the vertex already ran this round.
+            self._enqueue_active(core, target)
+            return False
+        if self.hub_active and target in self.hubsets:
+            # HDTL will emit PathEnd("hub"); the endpoint is enqueued there.
+            return True
+        if not self.walkers[core].in_partition(target):
+            # HDTL will emit PathEnd("boundary"); ditto.
+            return True
+        if event.depth >= self.walkers[core].stack_depth:
+            # HDTL will emit PathEnd("depth"); ditto.
+            return True
+        # Descend: apply the target asynchronously, in chain order.
+        ctx.pending[target] = ctx.identity
+        ctx.apply_vertex(target, folded)
+        ctx.charge_mem(core, layout.states.addr(target), write=True, state=True)
+        ctx.charge_compute(core, timing.update_op)
+        return True
+
+    def _on_path_end(
+        self,
+        core: int,
+        event: PathEnd,
+        engine: Optional[DepGraphEngine],
+        root_is_hub: bool,
+    ) -> None:
+        endpoint = event.endpoint
+        if root_is_hub and self.hub_active and len(event.path) >= 2:
+            if event.reason == "boundary":
+                # A hub-rooted segment left G^m: its endpoint is a boundary
+                # member of H''^m (the H^m' set of Section III-B2) and joins
+                # H'' as a core-vertex (capped), so the segments *it* walks
+                # later become core-paths — chains of such segments let
+                # shortcut cascades cross partitions hub-to-hub.
+                self.hubsets.promote_core_vertex(endpoint)
+            if endpoint in self.hubsets and len(event.path) >= 3:
+                # Multi-hop segments between H'' vertices get hub-index
+                # entries; a single edge is already a direct dependency and
+                # is not worth an entry.
+                self._record_core_path(core, event.path, engine)
+        self._enqueue_active(core, endpoint)
+
+    # ------------------------------------------------------------------
+    def _record_core_path(
+        self,
+        core: int,
+        path: Tuple[int, ...],
+        engine: Optional[DepGraphEngine],
+    ) -> None:
+        ctx = self.ctx
+        key = (path[0], path[-1], path[1])
+        existed = self.hub_index.get(*key) is not None
+        entry = self.ddmu.core_path_identified(path)
+        if entry is None:
+            return
+        if not existed:
+            if engine is not None:
+                engine.charge_hub_insert()
+            else:
+                ctx.charge_overhead(core, ctx.timing.sw_hub_op)
+                ctx.charge_mem(
+                    core,
+                    ctx.layout.hub_index_addr(self.hub_index.inserts),
+                    write=True,
+                )
+            # Promote intersection vertices to core-vertices so future
+            # traversals keep core-paths edge-disjoint (Definition 2).
+            for vertex in path[1:-1]:
+                previous = self.claimed.get(vertex)
+                if previous is not None and previous != key:
+                    self.hubsets.promote_core_vertex(vertex)
+                else:
+                    self.claimed[vertex] = key
+        if self.options.ddmu_mode == "learned" and not entry.usable:
+            self._learning_entries.add(entry.key)
+        # Fictitious reset edge: reconcile the doubled shortcut influence.
+        if self.ddmu.needs_reset_edge and entry.key in self._expected_resets:
+            influence = self._expected_resets.pop(entry.key)
+            tail = entry.tail
+            ctx.pending[tail] = ctx.pending[tail] - influence
+            ctx.charge_overhead(core, RESET_EDGE_CYCLES)
+            ctx.charge_mem(core, ctx.layout.deltas.addr(tail), write=True, state=True)
+
+    def _observe_learning_entries(self) -> None:
+        """Learned mode: feed end-of-round (s_head, s_tail) snapshots to the
+        DDMU (the 'two successive rounds' observations of Section III-B2)."""
+        done = set()
+        for key in self._learning_entries:
+            entry = self.hub_index.get(*key)
+            if entry is None or entry.usable:
+                done.add(key)
+                continue
+            self.ddmu.path_processed(
+                entry, self.ctx.states[entry.head], self.ctx.states[entry.tail]
+            )
+            if entry.usable:
+                done.add(key)
+        self._learning_entries -= done
+
+
+# ----------------------------------------------------------------------
+def run_depgraph(
+    graph: CSRGraph,
+    algorithm: Algorithm,
+    hardware: HardwareConfig,
+    options: DepGraphOptions = DepGraphOptions(),
+    system: str = "depgraph-h",
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> ExecutionResult:
+    """Run one dependency-driven execution."""
+    return _DepGraphExecution(
+        graph, algorithm, hardware, options, system, max_rounds
+    ).run()
+
+
+def run_sequential(
+    graph: CSRGraph,
+    algorithm: Algorithm,
+    hardware: Optional[HardwareConfig] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> ExecutionResult:
+    """The single-thread asynchronous DFS baseline (u_s measurement)."""
+    hw = (hardware or HardwareConfig.scaled()).with_cores(1)
+    return run_depgraph(
+        graph,
+        algorithm,
+        hw,
+        SEQUENTIAL_OPTIONS,
+        system="sequential",
+        max_rounds=max_rounds,
+    )

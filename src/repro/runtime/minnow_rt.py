@@ -1,0 +1,195 @@
+"""The Minnow-accelerated runtime (priority worklist offload) [59].
+
+Minnow executes continuously rather than in rounds: each core's hardware
+worklist serves the most urgent vertex next (smallest tentative distance for
+SSSP, largest |delta| for PageRank-style algorithms), activations are pushed
+the moment they occur, and the engine prefetches the vertex data for popped
+work items.  Worklist operations cost the core almost nothing because the
+engine manages them.
+
+What Minnow does *not* do — and where DepGraph wins (Figure 11/12) — is
+follow dependency chains: every hop of a propagation is a separate worklist
+round-trip through the priority queue, each paying queue traffic and a fresh
+(if prefetched) vertex access, and long chains still serialise across pops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..accel.hats import PrefetchTimeline
+from ..accel.minnow import MinnowWorklist
+from ..algorithms.base import Algorithm
+from ..algorithms.detect import AccumKind
+from ..graph.csr import CSRGraph
+from ..hardware.config import HardwareConfig
+from .context import SimContext
+from .stats import ExecutionResult, RoundLog
+
+#: core-side cost of an offloaded worklist operation (near-free)
+WORKLIST_OP_CYCLES = 1
+#: vertex-processings between a core's delta-visibility points
+FLUSH_INTERVAL = 32
+#: safety valve against livelock in non-converging configurations
+MAX_POPS_FACTOR = 400
+
+
+class _MinnowExecution:
+    def __init__(
+        self,
+        graph: CSRGraph,
+        algorithm: Algorithm,
+        hardware: HardwareConfig,
+    ) -> None:
+        self.ctx = SimContext(graph, algorithm, hardware, "minnow", simd=True)
+        ctx = self.ctx
+        self.worklists: List[MinnowWorklist] = [
+            MinnowWorklist(core) for core in range(ctx.num_cores)
+        ]
+        self.prefetchers: List[PrefetchTimeline] = [
+            PrefetchTimeline() for _ in range(ctx.num_cores)
+        ]
+
+    # ------------------------------------------------------------------
+    def _priority(self, vertex: int, value: Optional[float] = None) -> float:
+        """Smaller = more urgent; ``value`` overrides the committed pending
+        (the pushing core ranks by the delta it can see)."""
+        ctx = self.ctx
+        pending = ctx.pending[vertex] if value is None else value
+        if ctx.accum_kind is AccumKind.SUM:
+            return -abs(pending)
+        # min algorithms: small tentative values first; max: large first
+        if ctx.algorithm.accum(0.0, 1.0) == 0.0:  # min-style
+            return pending
+        return -pending
+
+    def run(self, max_pops: Optional[int] = None) -> ExecutionResult:
+        ctx = self.ctx
+        algorithm = ctx.algorithm
+        layout = ctx.layout
+        timing = ctx.timing
+        graph = ctx.graph
+        line = ctx.hardware.line_bytes
+        if max_pops is None:
+            max_pops = MAX_POPS_FACTOR * max(1, graph.num_vertices)
+
+        for vertex in ctx.initial_frontier():
+            self.worklists[ctx.owner_of(vertex)].push(
+                vertex, self._priority(vertex)
+            )
+        pops = 0
+        since_flush = [0] * ctx.num_cores
+        converged = True
+
+        def activate(vertex: int) -> None:
+            self.worklists[ctx.owner_of(vertex)].push(
+                vertex, self._priority(vertex)
+            )
+
+        while True:
+            candidates = [
+                c for c in range(ctx.num_cores) if not self.worklists[c].empty
+            ]
+            if not candidates:
+                # quiescence: publish all staged deltas; late arrivals
+                # re-activate their vertices.
+                for core in range(ctx.num_cores):
+                    ctx.flush_staged(core, activate)
+                if all(w.empty for w in self.worklists):
+                    break
+                continue
+            if pops >= max_pops:
+                converged = False
+                break
+            core = min(candidates, key=lambda c: ctx.clock[c])
+            vertex = self.worklists[core].pop()
+            if vertex is None:
+                continue
+            pops += 1
+            self._process(core, vertex)
+            since_flush[core] += 1
+            if since_flush[core] >= FLUSH_INTERVAL:
+                ctx.flush_staged(core, activate)
+                since_flush[core] = 0
+        ctx.rounds = 1
+        ctx.engine_ops += sum(engine.ops for engine in self.prefetchers)
+        ctx.engine_ops += sum(w.pushes + w.pops for w in self.worklists)
+        result = ctx.result(converged)
+        result.round_log.append(RoundLog(0, pops, ctx.updates, result.cycles))
+        return result
+
+    # ------------------------------------------------------------------
+    def _prefetched_read(self, core: int, addr: int) -> None:
+        """Worklist-directed prefetch: the engine pays the miss, the core
+        pays the hit."""
+        ctx = self.ctx
+        engine = self.prefetchers[core]
+        ready = engine.fetch(ctx.mem_cost(core, addr))
+        if ready > ctx.clock[core]:
+            ctx.charge_overhead(core, ready - ctx.clock[core])
+        ctx.charge_mem(core, addr)
+        engine.note_consumed(ctx.clock[core])
+
+    def _process(self, core: int, vertex: int) -> None:
+        ctx = self.ctx
+        algorithm = ctx.algorithm
+        layout = ctx.layout
+        timing = ctx.timing
+        graph = ctx.graph
+        line = ctx.hardware.line_bytes
+
+        ctx.charge_overhead(core, WORKLIST_OP_CYCLES)
+        self._prefetched_read(core, layout.deltas.addr(vertex))
+        self._prefetched_read(core, layout.states.addr(vertex))
+        delta = ctx.visible_pending(core, vertex)
+        if not algorithm.is_significant(delta, ctx.states[vertex]):
+            return
+        ctx.consume_pending(core, vertex)
+        value = ctx.apply_vertex(vertex, delta)
+        ctx.charge_mem(core, layout.states.addr(vertex), write=True, state=True)
+        ctx.charge_mem(core, layout.deltas.addr(vertex), write=True, state=True)
+        ctx.charge_compute(core, timing.update_op)
+        if ctx.is_sum and value == 0.0:
+            return
+
+        self._prefetched_read(core, layout.offsets.addr(vertex))
+        begin, end = graph.edge_range(vertex)
+        last_target_line = -1
+        last_weight_line = -1
+        for e in range(begin, end):
+            target_addr = layout.targets.addr(e)
+            if target_addr // line != last_target_line:
+                last_target_line = target_addr // line
+                self._prefetched_read(core, target_addr)
+            target = int(graph.targets[e])
+            if graph.is_weighted:
+                weight_addr = layout.weights.addr(e)
+                if weight_addr // line != last_weight_line:
+                    last_weight_line = weight_addr // line
+                    self._prefetched_read(core, weight_addr)
+                weight = graph.weights[e]
+            else:
+                weight = 1.0
+            influence = algorithm.edge_compute(vertex, value, weight, graph)
+            ctx.edge_ops += 1
+            ctx.charge_compute(core, timing.edge_op)
+            visible = ctx.stage_scatter(core, target, influence)
+            ctx.charge_rmw(core, layout.deltas.addr(target))
+            if not ctx.is_sum:
+                ctx.charge_mem(core, layout.states.addr(target), state=True)
+            if algorithm.is_significant(visible, ctx.states[target]):
+                owner = ctx.owner_of(target)
+                self.worklists[owner].push(
+                    target, self._priority(target, visible)
+                )
+                ctx.charge_overhead(core, WORKLIST_OP_CYCLES)
+
+
+def run_minnow(
+    graph: CSRGraph,
+    algorithm: Algorithm,
+    hardware: HardwareConfig,
+    max_pops: Optional[int] = None,
+) -> ExecutionResult:
+    """Execute under the Minnow priority-worklist model."""
+    return _MinnowExecution(graph, algorithm, hardware).run(max_pops)

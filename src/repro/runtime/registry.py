@@ -1,0 +1,117 @@
+"""The system registry: every execution model behind one ``run()`` call.
+
+=================  ==============================================
+name               system
+=================  ==============================================
+``sequential``     1-thread asynchronous DFS baseline (u_s)
+``ligra``          Ligra: synchronous BSP frontiers
+``ligra-o``        optimised Ligra (async + abstraction + SIMD)
+``mosaic``         Mosaic: tiled synchronous execution
+``wonderland``     Wonderland: abstraction-guided ordering
+``fbsgraph``       FBSGraph: path-ordered async sweeping
+``hats``           Ligra-o + HATS traversal scheduler
+``minnow``         Ligra-o + Minnow priority worklists
+``phi``            Ligra-o + PHI commutative updates
+``depgraph-s``     software-only DepGraph
+``depgraph-h``     hardware DepGraph (the paper's contribution)
+``depgraph-h-w``   DepGraph-H with the hub index disabled
+=================  ==============================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..algorithms.base import Algorithm
+from ..graph.csr import CSRGraph
+from ..hardware.config import HardwareConfig
+from .depgraph_rt import (
+    DepGraphOptions,
+    run_depgraph,
+    run_sequential,
+)
+from .minnow_rt import run_minnow
+from .roundbased import POLICIES, run_roundbased
+from .stats import ExecutionResult
+
+SYSTEM_NAMES = (
+    "sequential",
+    "ligra",
+    "ligra-o",
+    "mosaic",
+    "wonderland",
+    "fbsgraph",
+    "hats",
+    "minnow",
+    "phi",
+    "depgraph-s",
+    "depgraph-h",
+    "depgraph-h-w",
+)
+
+#: the hardware-accelerator comparison set of Figure 11
+ACCELERATOR_SYSTEMS = ("hats", "minnow", "phi", "depgraph-h")
+
+#: the software systems of Figure 4(a)
+SOFTWARE_SYSTEMS = ("ligra", "ligra-o", "mosaic", "wonderland", "fbsgraph")
+
+
+def run(
+    system: str,
+    graph: CSRGraph,
+    algorithm: Algorithm,
+    hardware: Optional[HardwareConfig] = None,
+    max_rounds: int = 4000,
+    **options,
+) -> ExecutionResult:
+    """Run ``algorithm`` over ``graph`` under the named system.
+
+    ``options`` are forwarded to :class:`DepGraphOptions` for the DepGraph
+    variants (e.g. ``lam=0.01, stack_depth=20, ddmu_mode="learned"``) and
+    ignored elsewhere.
+    """
+    hw = hardware or HardwareConfig.scaled()
+    if system == "sequential":
+        return run_sequential(graph, algorithm, hw, max_rounds=max_rounds)
+    if system in POLICIES:
+        return run_roundbased(
+            graph, algorithm, hw, POLICIES[system], max_rounds=max_rounds
+        )
+    if system == "minnow":
+        return run_minnow(graph, algorithm, hw)
+    if system == "depgraph-s":
+        opts = DepGraphOptions(hardware=False, **options)
+        return run_depgraph(
+            graph, algorithm, hw, opts, system=system, max_rounds=max_rounds
+        )
+    if system == "depgraph-h":
+        opts = DepGraphOptions(hardware=True, **options)
+        return run_depgraph(
+            graph, algorithm, hw, opts, system=system, max_rounds=max_rounds
+        )
+    if system == "depgraph-h-w":
+        options.pop("hub_enabled", None)
+        opts = DepGraphOptions(hardware=True, hub_enabled=False, **options)
+        return run_depgraph(
+            graph, algorithm, hw, opts, system=system, max_rounds=max_rounds
+        )
+    raise KeyError(f"unknown system {system!r}; known: {SYSTEM_NAMES}")
+
+
+def run_many(
+    systems,
+    graph: CSRGraph,
+    algorithm_factory,
+    hardware: Optional[HardwareConfig] = None,
+    **options,
+) -> Dict[str, ExecutionResult]:
+    """Run several systems on the same workload.
+
+    ``algorithm_factory`` is called once per system so that stateful
+    algorithms (e.g. adsorption with injection maps) do not leak state
+    between runs.
+    """
+    return {
+        system: run(system, graph, algorithm_factory(), hardware, **options)
+        for system in systems
+    }

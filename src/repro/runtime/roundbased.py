@@ -1,0 +1,333 @@
+"""The round-based (frontier-driven) execution family.
+
+Ligra, Ligra-o, Mosaic, Wonderland, FBSGraph, and the HATS/PHI-accelerated
+variants of Ligra-o all share one skeleton: rounds of frontier processing
+with a barrier between rounds, newly activated vertices deferred to the next
+round.  A :class:`RoundPolicy` captures what distinguishes them:
+
+* ``synchronous`` — BSP visibility: a vertex's apply consumes only deltas
+  published in earlier rounds (Ligra/Mosaic/Wonderland); asynchronous
+  systems also consume deltas staged by their own core within the round and
+  see other cores' deltas at periodic flushes;
+* ``flush_interval`` — how many vertex-processings sit between an
+  asynchronous core's visibility points (cross-core staleness window);
+* ``ordering`` — how each core orders its slice of the frontier (vertex id,
+  hubs-first abstraction priority, DFS path order, or HATS's bounded-DFS);
+* ``prefetch`` — a HATS-style engine overlaps sequential fetches;
+* ``phi`` — PHI's commutative scatter coalescing replaces read-modify-write
+  scatters;
+* ``simd`` — whether state processing is vectorised (the paper's Ligra-o
+  and DepGraph-S are SIMD-optimised; plain Ligra is not).
+
+The dispatch loop is the deterministic event interleaving described in
+DESIGN.md: the core with the smallest clock always runs next, so load
+imbalance emerges reproducibly, while the staged-delta discipline produces
+the cross-core staleness (and hence the redundant updates) that Section II
+measures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List
+
+from ..accel.hats import HATSScheduler, PrefetchTimeline
+from ..accel.phi import PHIUpdateBuffer
+from ..algorithms.base import Algorithm
+from ..graph.csr import CSRGraph
+from ..hardware.config import HardwareConfig
+from .context import STEAL_CYCLES, SimContext
+from .stats import ExecutionResult, RoundLog
+
+#: safety valve against non-converging configurations
+DEFAULT_MAX_ROUNDS = 4000
+
+
+@dataclass(frozen=True)
+class RoundPolicy:
+    """Knobs distinguishing the round-based systems."""
+
+    name: str
+    synchronous: bool = False
+    simd: bool = True
+    ordering: str = "id"  # "id" | "hubs_first" | "dfs" | "hats"
+    prefetch: bool = False
+    phi: bool = False
+    atomic_cycles: int = 6
+    work_stealing: bool = True
+    flush_interval: int = 32
+
+
+#: the published software baselines (Section II / IV)
+LIGRA = RoundPolicy("ligra", synchronous=True, simd=False)
+LIGRA_O = RoundPolicy("ligra-o", synchronous=False, simd=True, ordering="hubs_first")
+MOSAIC = RoundPolicy("mosaic", synchronous=True, simd=True)
+WONDERLAND = RoundPolicy(
+    "wonderland", synchronous=True, simd=False, ordering="hubs_first"
+)
+FBSGRAPH = RoundPolicy("fbsgraph", synchronous=False, simd=False, ordering="dfs")
+#: Ligra-o + accelerator models (Figure 11 baselines)
+HATS = RoundPolicy(
+    "hats", synchronous=False, simd=True, ordering="hats", prefetch=True
+)
+PHI = RoundPolicy(
+    "phi",
+    synchronous=False,
+    simd=True,
+    ordering="hubs_first",
+    phi=True,
+    atomic_cycles=1,
+)
+
+POLICIES = {
+    p.name: p for p in (LIGRA, LIGRA_O, MOSAIC, WONDERLAND, FBSGRAPH, HATS, PHI)
+}
+
+
+class _RoundEngine:
+    """One full round-based execution."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        algorithm: Algorithm,
+        hardware: HardwareConfig,
+        policy: RoundPolicy,
+        max_rounds: int,
+    ) -> None:
+        self.policy = policy
+        self.ctx = SimContext(graph, algorithm, hardware, policy.name, policy.simd)
+        self.max_rounds = max_rounds
+        ctx = self.ctx
+        n = ctx.graph.num_vertices
+        self.degrees = [int(d) for d in ctx.graph.out_degrees()]
+        self.in_next = bytearray(n)
+        self.next_frontier: List[int] = []
+        self.prefetchers = (
+            [PrefetchTimeline() for _ in range(ctx.num_cores)]
+            if policy.prefetch
+            else None
+        )
+        self.phi_buffers = (
+            [PHIUpdateBuffer(c) for c in range(ctx.num_cores)]
+            if policy.phi
+            else None
+        )
+        self.scheduler = (
+            HATSScheduler(ctx.graph, bound=8 if policy.ordering == "hats" else 64)
+            if policy.ordering in ("hats", "dfs")
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExecutionResult:
+        ctx = self.ctx
+        frontier = ctx.initial_frontier()
+        converged = True
+        for round_index in range(self.max_rounds):
+            if not frontier:
+                break
+            ctx.rounds = round_index + 1
+            start_peak = max(ctx.clock)
+            updates_before = ctx.updates
+            self._run_round(frontier)
+            for core in range(ctx.num_cores):
+                ctx.flush_staged(core, self._activate)
+            if self.phi_buffers is not None:
+                self._flush_phi()
+            ctx.barrier()
+            ctx.round_log.append(
+                RoundLog(
+                    round_index,
+                    len(frontier),
+                    ctx.updates - updates_before,
+                    max(ctx.clock) - start_peak,
+                )
+            )
+            frontier = self.next_frontier
+            self.next_frontier = []
+            self.in_next = bytearray(ctx.graph.num_vertices)
+        else:
+            converged = False
+        return ctx.result(converged)
+
+    # ------------------------------------------------------------------
+    def _activate(self, vertex: int) -> None:
+        if not self.in_next[vertex]:
+            self.in_next[vertex] = 1
+            self.next_frontier.append(vertex)
+
+    def _order(self, vertices: List[int], active: set) -> List[int]:
+        policy = self.policy
+        if policy.ordering == "id":
+            return sorted(vertices)
+        if policy.ordering == "hubs_first":
+            degrees = self.degrees
+            return sorted(vertices, key=lambda v: (-degrees[v], v))
+        return self.scheduler.order(sorted(vertices), active)
+
+    def _run_round(self, frontier: List[int]) -> None:
+        ctx = self.ctx
+        active = set(frontier)
+        queues: List[List[int]] = [[] for _ in range(ctx.num_cores)]
+        for v in frontier:
+            queues[ctx.owner_of(v)].append(v)
+        for core in range(ctx.num_cores):
+            if queues[core]:
+                queues[core] = self._order(queues[core], active)
+        cursors = [0] * ctx.num_cores
+        since_flush = [0] * ctx.num_cores
+        heap = [(ctx.clock[c], c) for c in range(ctx.num_cores) if queues[c]]
+        heapq.heapify(heap)
+        while heap:
+            _, core = heapq.heappop(heap)
+            if cursors[core] >= len(queues[core]):
+                if self.policy.work_stealing and self._steal(core, queues, cursors):
+                    heapq.heappush(heap, (ctx.clock[core], core))
+                continue
+            vertex = queues[core][cursors[core]]
+            cursors[core] += 1
+            self._process_vertex(core, vertex)
+            since_flush[core] += 1
+            if (
+                not self.policy.synchronous
+                and since_flush[core] >= self.policy.flush_interval
+            ):
+                ctx.flush_staged(core, self._activate)
+                since_flush[core] = 0
+            heapq.heappush(heap, (ctx.clock[core], core))
+
+    def _steal(self, thief: int, queues, cursors) -> bool:
+        """Take the back half of the most loaded core's remaining work."""
+        ctx = self.ctx
+        best, best_left = -1, 1
+        for core in range(ctx.num_cores):
+            left = len(queues[core]) - cursors[core]
+            if left > best_left:
+                best, best_left = core, left
+        if best < 0:
+            return False
+        take = best_left // 2
+        if take <= 0:
+            return False
+        stolen = queues[best][-take:]
+        del queues[best][-take:]
+        queues[thief] = stolen
+        cursors[thief] = 0
+        ctx.charge_overhead(thief, STEAL_CYCLES)
+        return True
+
+    # ------------------------------------------------------------------
+    def _read_stream(self, core: int, addr: int) -> None:
+        """A sequential-stream read (offsets/edges/own state): under a
+        HATS-style prefetcher the engine pays the miss and the core pays the
+        resulting hit; otherwise the core pays everything."""
+        ctx = self.ctx
+        if self.prefetchers is None:
+            ctx.charge_mem(core, addr)
+            return
+        engine = self.prefetchers[core]
+        ready = engine.fetch(ctx.mem_cost(core, addr))
+        if ready > ctx.clock[core]:
+            ctx.charge_overhead(core, ready - ctx.clock[core])
+        ctx.charge_mem(core, addr)  # installed by the engine: near hit
+        engine.note_consumed(ctx.clock[core])
+        ctx.engine_ops += 1
+
+    def _process_vertex(self, core: int, vertex: int) -> None:
+        ctx = self.ctx
+        policy = self.policy
+        algorithm = ctx.algorithm
+        graph = ctx.graph
+        layout = ctx.layout
+        timing = ctx.timing
+        line = ctx.hardware.line_bytes
+
+        ctx.charge_overhead(core, timing.dispatch_op)
+        ctx.charge_mem(core, layout.deltas.addr(vertex), state=True)
+        ctx.charge_mem(core, layout.states.addr(vertex), state=True)
+        if policy.synchronous:
+            # BSP: consume only deltas published in earlier rounds.
+            delta = ctx.pending[vertex]
+        else:
+            delta = ctx.visible_pending(core, vertex)
+        if not algorithm.is_significant(delta, ctx.states[vertex]):
+            return
+        if policy.synchronous:
+            ctx.pending[vertex] = ctx.identity
+        else:
+            ctx.consume_pending(core, vertex)
+        value = ctx.apply_vertex(vertex, delta)
+        ctx.charge_mem(core, layout.states.addr(vertex), write=True, state=True)
+        ctx.charge_mem(core, layout.deltas.addr(vertex), write=True, state=True)
+        ctx.charge_compute(core, timing.update_op)
+        if ctx.is_sum and value == 0.0:
+            return
+
+        self._read_stream(core, layout.offsets.addr(vertex))
+        begin, end = graph.edge_range(vertex)
+        last_target_line = -1
+        last_weight_line = -1
+        multicore = ctx.num_cores > 1
+        for e in range(begin, end):
+            target_addr = layout.targets.addr(e)
+            if target_addr // line != last_target_line:
+                last_target_line = target_addr // line
+                self._read_stream(core, target_addr)
+            target = int(graph.targets[e])
+            if graph.is_weighted:
+                weight_addr = layout.weights.addr(e)
+                if weight_addr // line != last_weight_line:
+                    last_weight_line = weight_addr // line
+                    self._read_stream(core, weight_addr)
+                weight = graph.weights[e]
+            else:
+                weight = 1.0
+            influence = algorithm.edge_compute(vertex, value, weight, graph)
+            ctx.edge_ops += 1
+            ctx.charge_compute(core, timing.edge_op)
+            visible = ctx.stage_scatter(core, target, influence)
+            delta_addr = layout.deltas.addr(target)
+            if self.phi_buffers is not None:
+                if not self.phi_buffers[core].scatter(delta_addr // line):
+                    ctx.charge_mem(core, delta_addr, write=True)
+                else:
+                    ctx.charge_compute(core, 1)
+            else:
+                ctx.charge_rmw(core, delta_addr)
+                if multicore:
+                    ctx.charge_overhead(core, policy.atomic_cycles)
+            # activation test against what this core can see
+            if not ctx.is_sum:
+                ctx.charge_mem(core, layout.states.addr(target), state=True)
+            if not self.in_next[target] and algorithm.is_significant(
+                visible, ctx.states[target]
+            ):
+                self._activate(target)
+                owner = ctx.owner_of(target)
+                ctx.charge_mem(
+                    core,
+                    layout.queues.addr(owner % layout.queues.length),
+                    write=True,
+                )
+
+    # ------------------------------------------------------------------
+    def _flush_phi(self) -> None:
+        ctx = self.ctx
+        for core, buffer in enumerate(self.phi_buffers):
+            count = buffer.flush()
+            if count:
+                cost = count * ctx.hardware.l2.latency
+                ctx.charge_overhead(core, cost)
+
+
+def run_roundbased(
+    graph: CSRGraph,
+    algorithm: Algorithm,
+    hardware: HardwareConfig,
+    policy: RoundPolicy,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> ExecutionResult:
+    """Execute ``algorithm`` on ``graph`` under a round-based system."""
+    return _RoundEngine(graph, algorithm, hardware, policy, max_rounds).run()

@@ -1,0 +1,144 @@
+"""Unit tests for the HATS / Minnow / PHI accelerator models."""
+
+import pytest
+
+from repro.accel.hats import HATSScheduler, PrefetchTimeline
+from repro.accel.minnow import MinnowWorklist
+from repro.accel.phi import PHIUpdateBuffer
+from repro.graph.csr import CSRGraph
+
+
+class TestHATSScheduler:
+    def graph(self):
+        # two communities: {0,1,2} and {3,4,5}, bridge 2->3
+        return CSRGraph.from_edges(
+            6,
+            [(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 4), (4, 3), (4, 5), (5, 4)],
+        )
+
+    def test_community_members_adjacent(self):
+        g = self.graph()
+        sched = HATSScheduler(g, bound=4)
+        frontier = [0, 3, 1, 4]
+        order = sched.order(frontier, set(frontier))
+        # 0 and 1 (same community) end up adjacent, likewise 3 and 4
+        pos = {v: i for i, v in enumerate(order)}
+        assert abs(pos[0] - pos[1]) <= 2
+        assert abs(pos[3] - pos[4]) <= 2
+
+    def test_all_frontier_members_emitted_once(self):
+        g = self.graph()
+        sched = HATSScheduler(g, bound=2)
+        frontier = [5, 0, 2]
+        order = sched.order(frontier, {0, 1, 2, 3, 4, 5})
+        assert sorted(order) == sorted(frontier)
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            HATSScheduler(self.graph(), bound=0)
+
+
+class TestPrefetchTimeline:
+    def test_fetch_advances_time(self):
+        t = PrefetchTimeline(capacity=4)
+        ready1 = t.fetch(40.0)
+        ready2 = t.fetch(40.0)
+        assert ready2 > ready1
+
+    def test_mlp_pipelines_latency(self):
+        """per-fetch occupancy is latency/MLP + issue, not the full latency."""
+        t = PrefetchTimeline(capacity=64)
+        ready = t.fetch(40.0)
+        assert ready == pytest.approx(
+            PrefetchTimeline.ISSUE_CYCLES + 40.0 / PrefetchTimeline.MLP
+        )
+
+    def test_window_limits_runahead(self):
+        t = PrefetchTimeline(capacity=2)
+        t.fetch(10.0)
+        t.fetch(10.0)
+        # consumer is slow: entries consumed at t=1000, 2000
+        t.note_consumed(1000.0)
+        t.note_consumed(2000.0)
+        # third fetch must wait for the first consumption
+        ready = t.fetch(10.0)
+        assert ready >= 1000.0
+
+    def test_sync_to_moves_forward_only(self):
+        t = PrefetchTimeline()
+        t.sync_to(100.0)
+        assert t.time == 100.0
+        t.sync_to(50.0)
+        assert t.time == 100.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PrefetchTimeline(capacity=0)
+
+
+class TestMinnowWorklist:
+    def test_priority_order(self):
+        wl = MinnowWorklist(0)
+        wl.push(1, 5.0)
+        wl.push(2, 1.0)
+        wl.push(3, 3.0)
+        assert wl.pop() == 2
+        assert wl.pop() == 3
+        assert wl.pop() == 1
+        assert wl.pop() is None
+
+    def test_better_priority_supersedes(self):
+        wl = MinnowWorklist(0)
+        wl.push(1, 5.0)
+        wl.push(1, 2.0)  # improvement: re-queued at better priority
+        assert wl.pop() == 1
+        assert wl.pop() is None  # stale entry filtered
+
+    def test_worse_priority_ignored(self):
+        wl = MinnowWorklist(0)
+        wl.push(1, 2.0)
+        wl.push(1, 5.0)  # no improvement: dropped
+        assert wl.pop() == 1
+        assert wl.empty
+
+    def test_peek_priority_skips_stale(self):
+        wl = MinnowWorklist(0)
+        wl.push(1, 5.0)
+        wl.push(1, 2.0)
+        assert wl.peek_priority() == 2.0
+
+    def test_fifo_among_equal_priorities(self):
+        wl = MinnowWorklist(0)
+        wl.push(7, 1.0)
+        wl.push(9, 1.0)
+        assert wl.pop() == 7
+        assert wl.pop() == 9
+
+
+class TestPHIUpdateBuffer:
+    def test_first_touch_not_coalesced(self):
+        buf = PHIUpdateBuffer(0, capacity_lines=4)
+        assert not buf.scatter(100)
+        assert buf.scatter(100)
+        assert buf.coalesced == 1
+
+    def test_capacity_evicts(self):
+        buf = PHIUpdateBuffer(0, capacity_lines=2)
+        buf.scatter(1)
+        buf.scatter(2)
+        buf.scatter(3)  # evicts something
+        assert buf.flushes == 1
+        assert buf.inserted == 3
+
+    def test_flush_counts_and_clears(self):
+        buf = PHIUpdateBuffer(0, capacity_lines=8)
+        for line in range(5):
+            buf.scatter(line)
+        assert buf.flush() == 5
+        assert buf.flush() == 0
+        # after a flush, previously-buffered lines are first touches again
+        assert not buf.scatter(0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PHIUpdateBuffer(0, capacity_lines=0)

@@ -1,0 +1,73 @@
+"""Deeper cache-policy tests: DRRIP set-dueling and RRIP aging."""
+
+from repro.hardware.cache import Cache
+from repro.hardware.config import CacheConfig
+
+
+def rrip_cache(ways=4, sets=64, policy="drrip"):
+    return Cache(CacheConfig(64 * ways * sets, ways, 4, policy), line_bytes=64)
+
+
+class TestSetDueling:
+    def test_leader_set_misses_move_selector(self):
+        c = rrip_cache()
+        start = c._psel
+        # misses in the SRRIP leader set (index 0 mod 64) push toward BRRIP
+        c.note_duel_outcome(0, hit=False)
+        c.note_duel_outcome(0, hit=False)
+        assert c._psel < start
+
+    def test_brip_leader_misses_push_back(self):
+        c = rrip_cache()
+        c.note_duel_outcome(32, hit=False)
+        assert c._psel > 512 - 1
+
+    def test_selector_saturates(self):
+        c = rrip_cache()
+        for _ in range(5000):
+            c.note_duel_outcome(0, hit=False)
+        assert c._psel == 0
+        for _ in range(5000):
+            c.note_duel_outcome(32, hit=False)
+        assert c._psel == 1023
+
+    def test_hits_do_not_move_selector(self):
+        c = rrip_cache()
+        start = c._psel
+        c.note_duel_outcome(0, hit=True)
+        c.note_duel_outcome(32, hit=True)
+        assert c._psel == start
+
+
+class TestRRIPAging:
+    def test_promotion_on_hit(self):
+        c = rrip_cache(ways=2, sets=1)
+        c.access(0)
+        c.access(0)  # hit: rrpv -> 0
+        cset = c._sets[0]
+        assert cset[0] == 0
+
+    def test_victim_is_distant_line(self):
+        c = rrip_cache(ways=2, sets=1)
+        c.access(0)
+        c.access(0)  # line 0 promoted to rrpv 0
+        c.access(1)  # line 1 inserted distant
+        c.access(2)  # must evict line 1 (higher rrpv), not line 0
+        assert c.probe(0)
+        assert not c.probe(1)
+
+    def test_writebacks_counted(self):
+        c = rrip_cache(ways=1, sets=1)
+        c.access(0)
+        c.access(1)
+        assert c.writebacks == 1
+
+
+class TestGraspHotAging:
+    def test_hot_lines_survive_aging(self):
+        c = rrip_cache(ways=2, sets=1, policy="grasp")
+        c.add_hot_range(0, 1)
+        c.access(0)  # hot line resident
+        for line in range(1, 12):
+            c.access(line)  # scan pressure
+        assert c.probe(0)

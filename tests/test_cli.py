@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENT_MODULES, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "depgraph-h" in out
+        assert "pagerank" in out
+        assert "FS" in out
+
+    def test_run_small(self, capsys):
+        code = main(
+            [
+                "run",
+                "--system",
+                "depgraph-h",
+                "--dataset",
+                "AZ",
+                "--algorithm",
+                "sssp",
+                "--scale",
+                "0.1",
+                "--cores",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "depgraph-h" in out
+        assert "converged=True" in out
+
+    def test_experiment_table4(self, capsys):
+        assert main(["experiment", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "DepGraph" in out
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--system", "nonsense"])
+
+    def test_experiment_names_resolve(self):
+        import importlib
+
+        for module_name in set(EXPERIMENT_MODULES.values()):
+            module = importlib.import_module(f"repro.experiments.{module_name}")
+            assert hasattr(module, "main")

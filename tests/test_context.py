@@ -1,0 +1,145 @@
+"""Unit tests for SimContext: charging, staging, and visibility."""
+
+import math
+
+import pytest
+
+from repro.algorithms import IncrementalPageRank, SSSP
+from repro.graph import generators
+from repro.hardware import HardwareConfig
+from repro.runtime.context import SimContext
+
+
+def make_ctx(algorithm=None, cores=2):
+    g = generators.chain(6, weighted=True)
+    alg = algorithm or SSSP(0)
+    return SimContext(g, alg, HardwareConfig.scaled(num_cores=cores), "test")
+
+
+class TestCharging:
+    def test_charge_mem_advances_clock(self):
+        ctx = make_ctx()
+        before = ctx.clock[0]
+        cycles = ctx.charge_mem(0, 0x1000000)
+        assert ctx.clock[0] == before + cycles
+        assert ctx.mem[0] == cycles
+
+    def test_state_memory_tracked_separately(self):
+        ctx = make_ctx()
+        ctx.charge_mem(0, ctx.layout.states.addr(0), state=True)
+        ctx.charge_mem(0, ctx.layout.offsets.addr(0))
+        assert 0 < ctx.state_mem[0] < ctx.mem[0]
+
+    def test_charge_compute_simd(self):
+        ctx = make_ctx()
+        ctx.simd = True
+        ctx.charge_compute(0, 8.0)
+        assert ctx.compute[0] == pytest.approx(
+            8.0 / ctx.timing.simd_factor
+        )
+
+    def test_charge_compute_no_simd(self):
+        ctx = make_ctx()
+        ctx.simd = False
+        ctx.charge_compute(0, 8.0)
+        assert ctx.compute[0] == 8.0
+
+    def test_charge_overhead(self):
+        ctx = make_ctx()
+        ctx.charge_overhead(1, 17.0)
+        assert ctx.overhead[1] == 17.0
+        assert ctx.clock[1] == 17.0
+
+    def test_barrier_aligns_clocks(self):
+        ctx = make_ctx()
+        ctx.charge_overhead(0, 100.0)
+        ctx.barrier()
+        assert ctx.clock[0] == ctx.clock[1]
+        assert ctx.clock[0] > 100.0
+
+
+class TestStagedVisibility:
+    def test_own_scatter_visible_to_self(self):
+        ctx = make_ctx(IncrementalPageRank())
+        ctx.pending[3] = 0.0
+        visible = ctx.stage_scatter(0, 3, 0.5)
+        assert visible == pytest.approx(0.5)
+        assert ctx.visible_pending(0, 3) == pytest.approx(0.5)
+
+    def test_scatter_invisible_to_other_core(self):
+        ctx = make_ctx(IncrementalPageRank())
+        ctx.pending[3] = 0.0
+        ctx.stage_scatter(0, 3, 0.5)
+        assert ctx.visible_pending(1, 3) == 0.0
+        assert ctx.pending[3] == 0.0  # not yet published
+
+    def test_flush_publishes(self):
+        ctx = make_ctx(IncrementalPageRank())
+        ctx.pending[3] = 0.0
+        ctx.stage_scatter(0, 3, 0.5)
+        ctx.flush_staged(0)
+        assert ctx.pending[3] == pytest.approx(0.5)
+        assert ctx.visible_pending(1, 3) == pytest.approx(0.5)
+
+    def test_flush_activation_callback(self):
+        ctx = make_ctx(IncrementalPageRank())
+        ctx.states[3] = 0.0
+        ctx.pending[3] = 0.0
+        ctx.stage_scatter(0, 3, 0.5)  # well above epsilon
+        activated = []
+        ctx.flush_staged(0, activated.append)
+        assert activated == [3]
+
+    def test_flush_skips_insignificant(self):
+        ctx = make_ctx(IncrementalPageRank())
+        ctx.states[3] = 0.0
+        ctx.pending[3] = 0.0
+        ctx.stage_scatter(0, 3, 1e-9)
+        activated = []
+        ctx.flush_staged(0, activated.append)
+        assert activated == []
+
+    def test_consume_clears_own_view(self):
+        ctx = make_ctx(IncrementalPageRank())
+        ctx.pending[3] = 0.25
+        ctx.stage_scatter(0, 3, 0.5)
+        ctx.consume_pending(0, 3)
+        assert ctx.visible_pending(0, 3) == 0.0
+
+    def test_min_accum_staging(self):
+        ctx = make_ctx(SSSP(0))
+        ctx.pending[3] = math.inf
+        visible = ctx.stage_scatter(0, 3, 7.0)
+        assert visible == 7.0
+        visible = ctx.stage_scatter(0, 3, 4.0)
+        assert visible == 4.0
+        ctx.flush_staged(0)
+        assert ctx.pending[3] == 4.0
+
+
+class TestVertexPrimitives:
+    def test_apply_vertex_counts_update(self):
+        ctx = make_ctx(SSSP(0))
+        before = ctx.updates
+        value = ctx.apply_vertex(0, 0.0)
+        assert ctx.updates == before + 1
+        assert ctx.states[0] == 0.0
+        assert value == 0.0  # min-kind propagates the new state
+
+    def test_initial_frontier_sssp(self):
+        ctx = make_ctx(SSSP(0))
+        assert ctx.initial_frontier() == [0]
+
+    def test_initial_frontier_pagerank(self):
+        ctx = make_ctx(IncrementalPageRank())
+        assert ctx.initial_frontier() == list(range(ctx.graph.num_vertices))
+
+    def test_weights_required(self):
+        g = generators.chain(4)  # unweighted
+        with pytest.raises(ValueError):
+            SimContext(g, SSSP(0), HardwareConfig.scaled(num_cores=1), "t")
+
+    def test_owner_covers_all_vertices(self):
+        ctx = make_ctx(cores=3)
+        for v in range(ctx.graph.num_vertices):
+            assert 0 <= ctx.owner_of(v) < 3

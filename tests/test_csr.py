@@ -1,0 +1,131 @@
+"""Unit tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+
+
+def small_graph():
+    edges = [(0, 1), (0, 2), (1, 2), (2, 0), (3, 1)]
+    return CSRGraph.from_edges(4, edges)
+
+
+class TestConstruction:
+    def test_from_edges_counts(self):
+        g = small_graph()
+        assert g.num_vertices == 4
+        assert g.num_edges == 5
+
+    def test_from_edges_sorted_layout(self):
+        g = CSRGraph.from_edges(3, [(2, 1), (0, 2), (0, 1), (2, 0)])
+        assert list(g.neighbors(0)) == [1, 2]
+        assert list(g.neighbors(2)) == [0, 1]
+
+    def test_from_edges_empty(self):
+        g = CSRGraph.from_edges(5, [])
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.out_degree(3) == 0
+
+    def test_from_edges_zero_vertices(self):
+        g = CSRGraph.from_edges(0, [])
+        assert g.num_vertices == 0
+
+    def test_from_arrays_matches_from_edges(self):
+        edges = [(0, 1), (2, 3), (1, 0), (3, 3)]
+        a = CSRGraph.from_edges(4, edges)
+        b = CSRGraph.from_arrays(
+            4,
+            np.asarray([e[0] for e in edges]),
+            np.asarray([e[1] for e in edges]),
+        )
+        assert a == b
+
+    def test_weights_follow_edge_sort(self):
+        g = CSRGraph.from_edges(3, [(1, 0), (0, 2), (0, 1)], weights=[3.0, 2.0, 1.0])
+        # after sorting by (src, dst): (0,1)->1.0, (0,2)->2.0, (1,0)->3.0
+        assert g.edge_weight(0) == 1.0
+        assert g.edge_weight(1) == 2.0
+        assert g.edge_weight(2) == 3.0
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(0, 5)])
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(-1, 0)])
+
+    def test_misaligned_weights_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(0, 1)], weights=[1.0, 2.0])
+
+    def test_offsets_must_be_monotone(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.asarray([0, 2, 1]), np.asarray([0, 1]))
+
+    def test_offsets_must_cover_targets(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.asarray([0, 1]), np.asarray([0, 0]))
+
+
+class TestAccessors:
+    def test_out_degrees(self):
+        g = small_graph()
+        assert list(g.out_degrees()) == [2, 1, 1, 1]
+
+    def test_edge_range(self):
+        g = small_graph()
+        begin, end = g.edge_range(0)
+        assert end - begin == 2
+
+    def test_unweighted_edge_weight_is_one(self):
+        g = small_graph()
+        assert g.edge_weight(0) == 1.0
+
+    def test_out_edges_iteration(self):
+        g = small_graph()
+        triples = list(g.out_edges(0))
+        assert [(t, w) for _, t, w in triples] == [(1, 1.0), (2, 1.0)]
+
+    def test_edges_iteration_total(self):
+        g = small_graph()
+        assert len(list(g.edges())) == g.num_edges
+
+    def test_has_edge(self):
+        g = small_graph()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(3, 1)
+        assert not g.has_edge(1, 3)
+
+
+class TestDerived:
+    def test_reverse_roundtrip(self):
+        g = small_graph()
+        rr = g.reverse().reverse()
+        assert set((s, t) for s, t, _ in rr.edges()) == set(
+            (s, t) for s, t, _ in g.edges()
+        )
+
+    def test_reverse_degrees(self):
+        g = small_graph()
+        rev = g.reverse()
+        # in-degrees of g become out-degrees of rev
+        assert rev.out_degree(1) == 2  # edges 0->1, 3->1
+        assert rev.out_degree(0) == 1  # edge 2->0
+
+    def test_reverse_is_cached(self):
+        g = small_graph()
+        assert g.reverse() is g.reverse()
+
+    def test_with_weights(self):
+        g = small_graph()
+        gw = g.with_weights(np.arange(g.num_edges, dtype=float))
+        assert gw.is_weighted
+        assert gw.edge_weight(4) == 4.0
+        assert not g.is_weighted  # original untouched
+
+    def test_subgraph_edge_count(self):
+        g = small_graph()
+        assert g.subgraph_edge_count({0, 1, 2}) == 4

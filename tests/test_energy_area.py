@@ -1,0 +1,89 @@
+"""Tests for the energy (Figure 14) and area/power (Table IV) models."""
+
+import pytest
+
+from repro.hardware.area import (
+    CHIP_TDP_W,
+    CORE_AREA_MM2,
+    PAPER_TABLE_IV,
+    area_table,
+    depgraph_cost,
+)
+from repro.hardware.energy import (
+    EnergyConstants,
+    EnergyReport,
+    energy_from_counts,
+)
+
+
+class TestEnergyModel:
+    def test_components_scale_with_counts(self):
+        small = energy_from_counts(100, 0, 10, 10, 10, 10, 10)
+        large = energy_from_counts(200, 0, 20, 20, 20, 20, 20)
+        assert large.total == pytest.approx(2 * small.total)
+
+    def test_dram_dominates_per_event(self):
+        c = EnergyConstants()
+        assert c.dram_access > c.l3_access > c.l2_access > c.l1_access
+
+    def test_breakdown_sums_to_one(self):
+        report = energy_from_counts(100, 50, 10, 10, 10, 10, 10, 5)
+        assert sum(report.breakdown().values()) == pytest.approx(1.0)
+
+    def test_empty_report(self):
+        report = EnergyReport()
+        assert report.total == 0.0
+        assert report.normalized_to(EnergyReport()) == 0.0
+
+    def test_normalized_to(self):
+        a = energy_from_counts(100, 0, 0, 0, 0, 0, 0)
+        b = energy_from_counts(200, 0, 0, 0, 0, 0, 0)
+        assert b.normalized_to(a) == pytest.approx(2.0)
+
+    def test_idle_cheaper_than_busy(self):
+        busy = energy_from_counts(100, 0, 0, 0, 0, 0, 0)
+        idle = energy_from_counts(0, 100, 0, 0, 0, 0, 0)
+        assert idle.total < busy.total
+
+
+class TestAreaModel:
+    def test_default_matches_paper_area(self):
+        cost = depgraph_cost()
+        assert cost.area_mm2 == pytest.approx(0.011, abs=0.001)
+        assert cost.area_pct_core == pytest.approx(0.61, abs=0.05)
+
+    def test_default_matches_paper_power(self):
+        cost = depgraph_cost()
+        assert cost.power_mw == pytest.approx(562, rel=0.02)
+        assert cost.power_pct_tdp == pytest.approx(0.29, abs=0.02)
+
+    def test_paper_baselines_pct(self):
+        """The %TDP column of Table IV back-solves from the published mW."""
+        assert PAPER_TABLE_IV["HATS"].power_pct_tdp == pytest.approx(0.22, abs=0.01)
+        assert PAPER_TABLE_IV["Minnow"].power_pct_tdp == pytest.approx(0.43, abs=0.01)
+        assert PAPER_TABLE_IV["PHI"].power_pct_tdp == pytest.approx(0.25, abs=0.01)
+
+    def test_deeper_stack_costs_more(self):
+        shallow = depgraph_cost(stack_depth=5)
+        deep = depgraph_cost(stack_depth=40)
+        assert deep.area_mm2 > shallow.area_mm2
+        assert deep.power_mw > shallow.power_mw
+
+    def test_buffer_bits_match_paper(self):
+        """6.1 Kbit stack + 4.8 Kbit FIFO (Section IV-D defaults)."""
+        stack_bits = 10 * 610
+        fifo_bits = 24 * 200
+        assert stack_bits == 6100
+        assert fifo_bits == 4800
+
+    def test_area_table_contains_all_accelerators(self):
+        table = area_table()
+        assert set(table) == {"HATS", "Minnow", "PHI", "DepGraph"}
+
+    def test_invalid_buffers(self):
+        with pytest.raises(ValueError):
+            depgraph_cost(stack_depth=0)
+
+    def test_constants_sane(self):
+        assert 0 < CORE_AREA_MM2 < 20
+        assert 50 < CHIP_TDP_W < 500

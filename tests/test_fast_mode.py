@@ -1,0 +1,55 @@
+"""Tests for the flat-cost 'fast' timing fidelity mode."""
+
+import numpy as np
+import pytest
+
+from repro import algorithms, runtime
+from repro.algorithms import reference
+from repro.graph import generators
+from repro.hardware import HardwareConfig
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = generators.power_law(120, 700, alpha=2.0, seed=21, weighted=True)
+    return generators.ensure_reachable(g, 0, seed=21)
+
+
+class TestFastFidelity:
+    def test_config_validation(self):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            replace(HardwareConfig.scaled(), fidelity="approximate")
+
+    def test_fast_preset(self):
+        hw = HardwareConfig.fast(num_cores=8)
+        assert hw.fidelity == "fast"
+        assert hw.num_cores == 8
+
+    @pytest.mark.parametrize("system", ["ligra-o", "depgraph-h", "minnow"])
+    def test_sssp_exact_in_fast_mode(self, graph, system):
+        hw = HardwareConfig.fast(num_cores=4)
+        res = runtime.run(system, graph, algorithms.SSSP(0), hw)
+        exp = reference.sssp(graph, 0)
+        both = np.isinf(res.states) & np.isinf(exp)
+        assert np.max(np.abs(np.where(both, 0, res.states - exp))) < 1e-9
+
+    def test_pagerank_within_tolerance(self, graph):
+        hw = HardwareConfig.fast(num_cores=4)
+        res = runtime.run("depgraph-h", graph, algorithms.IncrementalPageRank(), hw)
+        exp = reference.pagerank(graph)
+        assert np.max(np.abs(res.states - exp)) < 5e-3
+
+    def test_cycles_still_reported(self, graph):
+        hw = HardwareConfig.fast(num_cores=4)
+        res = runtime.run("ligra-o", graph, algorithms.SSSP(0), hw)
+        assert res.cycles > 0
+        assert res.memory_cycles > 0
+
+    def test_deterministic(self, graph):
+        hw = HardwareConfig.fast(num_cores=4)
+        a = runtime.run("depgraph-h", graph, algorithms.SSSP(0), hw)
+        b = runtime.run("depgraph-h", graph, algorithms.SSSP(0), hw)
+        assert a.cycles == b.cycles
+        assert np.array_equal(a.states, b.states)

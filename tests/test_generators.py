@@ -1,0 +1,125 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.properties import bfs_levels
+
+
+class TestPowerLaw:
+    def test_deterministic(self):
+        a = generators.power_law(200, 1000, seed=1)
+        b = generators.power_law(200, 1000, seed=1)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = generators.power_law(200, 1000, seed=1)
+        b = generators.power_law(200, 1000, seed=2)
+        assert a != b
+
+    def test_edge_count_close_to_requested(self):
+        g = generators.power_law(500, 4000, seed=0)
+        assert 0.8 * 4000 <= g.num_edges <= 4000
+
+    def test_no_self_loops(self):
+        g = generators.power_law(300, 2000, seed=3)
+        for s, t, _ in g.edges():
+            assert s != t
+
+    def test_no_duplicate_edges(self):
+        g = generators.power_law(300, 2000, seed=3)
+        pairs = [(s, t) for s, t, _ in g.edges()]
+        assert len(pairs) == len(set(pairs))
+
+    def test_lower_alpha_more_skew(self):
+        """Figure 19's premise: smaller Zipf alpha means heavier skew."""
+        heavy = generators.power_law(2000, 10000, alpha=1.8, seed=0)
+        light = generators.power_law(2000, 10000, alpha=2.4, seed=0)
+        assert heavy.out_degrees().max() > light.out_degrees().max()
+
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            generators.power_law(100, 200, alpha=1.0)
+
+    def test_weighted(self):
+        g = generators.power_law(100, 400, seed=0, weighted=True)
+        assert g.is_weighted
+        assert (g.weights > 0).all()
+
+
+class TestOtherGenerators:
+    def test_erdos_renyi_size(self):
+        g = generators.erdos_renyi(400, 3000, seed=1)
+        assert g.num_vertices == 400
+        assert g.num_edges > 2000
+
+    def test_chain_structure(self):
+        g = generators.chain(10)
+        assert g.num_edges == 9
+        levels = bfs_levels(g, 0)
+        assert levels[9] == 9
+
+    def test_star_structure(self):
+        g = generators.star(8, center=2)
+        assert g.out_degree(2) == 7
+        assert g.out_degree(0) == 0
+
+    def test_grid_mesh_bidirectional(self):
+        g = generators.grid_mesh(4, 5)
+        assert g.num_vertices == 20
+        # interior vertex has degree 4 in each direction
+        assert g.out_degree(6) == 4
+
+    def test_grid_mesh_unidirectional(self):
+        g = generators.grid_mesh(3, 3, bidirectional=False)
+        assert g.out_degree(8) == 0  # bottom-right corner
+
+    def test_rmat_size(self):
+        g = generators.rmat(8, edge_factor=8, seed=2)
+        assert g.num_vertices == 256
+        assert g.num_edges > 256
+
+    def test_rmat_skew(self):
+        g = generators.rmat(9, edge_factor=8, seed=2)
+        degrees = np.sort(g.out_degrees())[::-1]
+        # R-MAT concentrates edges on few vertices
+        assert degrees[:10].sum() > 5 * degrees[100:110].sum()
+
+    def test_small_world(self):
+        g = generators.small_world(100, k=4, seed=4)
+        assert g.num_vertices == 100
+        assert g.num_edges > 100
+
+
+class TestEnsureReachable:
+    def test_everything_reachable(self):
+        g = generators.power_law(300, 600, seed=7)
+        g = generators.ensure_reachable(g, root=0, seed=7)
+        levels = bfs_levels(g, 0)
+        assert (levels >= 0).all()
+
+    def test_weighted_preserved(self):
+        g = generators.power_law(200, 500, seed=8, weighted=True)
+        g = generators.ensure_reachable(g, root=0, seed=8)
+        assert g.is_weighted
+        levels = bfs_levels(g, 0)
+        assert (levels >= 0).all()
+
+    def test_no_duplicates_after_backbone(self):
+        g = generators.power_law(150, 400, seed=9, weighted=True)
+        g = generators.ensure_reachable(g, root=0, seed=9)
+        pairs = [(s, t) for s, t, _ in g.edges()]
+        assert len(pairs) == len(set(pairs))
+
+
+class TestZipfianSuite:
+    def test_table_v_alphas(self):
+        suite = generators.zipfian_suite(num_vertices=512, base_edges=3000)
+        assert set(suite) == {1.8, 1.9, 2.0, 2.1, 2.2}
+
+    def test_table_v_edge_ordering(self):
+        """Table V: edge count falls as alpha rises."""
+        suite = generators.zipfian_suite(num_vertices=512, base_edges=3000)
+        edges = [suite[a].num_edges for a in sorted(suite)]
+        assert edges == sorted(edges, reverse=True)

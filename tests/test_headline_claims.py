@@ -1,0 +1,70 @@
+"""End-to-end shape checks of the paper's headline claims at test scale.
+
+These are the fast cousins of the benchmark assertions: a single mid-size
+workload per claim, so the core result survives refactors even when the
+full benchmark harness is not run.
+"""
+
+import pytest
+
+from repro import algorithms, runtime
+from repro.graph import datasets
+from repro.hardware import HardwareConfig
+
+HW = HardwareConfig.scaled(num_cores=16)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = datasets.load("LJ", scale=0.25)
+    return graph
+
+
+@pytest.fixture(scope="module")
+def results(workload):
+    systems = ("ligra-o", "hats", "minnow", "phi", "depgraph-s", "depgraph-h")
+    return {
+        system: runtime.run(system, workload, algorithms.SSSP(0), HW)
+        for system in systems
+    }
+
+
+class TestHeadlineClaims:
+    def test_depgraph_h_beats_software_baseline(self, results):
+        """Headline: DepGraph-H is several times faster than Ligra-o."""
+        speedup = results["depgraph-h"].speedup_over(results["ligra-o"])
+        assert speedup > 1.5, f"only {speedup:.2f}x"
+
+    def test_depgraph_h_beats_every_accelerator(self, results):
+        """Figure 11: faster than HATS, Minnow, and PHI."""
+        depgraph = results["depgraph-h"].cycles
+        for baseline in ("hats", "minnow", "phi"):
+            assert depgraph < results[baseline].cycles, baseline
+
+    def test_depgraph_h_beats_depgraph_s(self, results):
+        """Figure 9: hardware offload removes the software walk overhead."""
+        assert results["depgraph-h"].cycles < results["depgraph-s"].cycles
+
+    def test_update_reduction(self, workload):
+        """Figure 10 direction: fewer updates than Ligra-o on a sum-type
+        algorithm."""
+        base = runtime.run(
+            "ligra-o", workload, algorithms.IncrementalPageRank(), HW
+        )
+        ours = runtime.run(
+            "depgraph-h", workload, algorithms.IncrementalPageRank(), HW
+        )
+        assert ours.total_updates < base.total_updates
+
+    def test_area_headline(self):
+        """0.6% of a core, as the abstract claims."""
+        from repro.hardware.area import depgraph_cost
+
+        assert depgraph_cost().area_pct_core < 0.7
+
+    def test_accelerators_all_help(self, results):
+        """Every accelerated system should at least not lose to Ligra-o on
+        this traversal workload."""
+        base = results["ligra-o"].cycles
+        for system in ("hats", "minnow", "depgraph-h"):
+            assert results[system].cycles < base * 1.05, system

@@ -1,0 +1,153 @@
+"""Tests for graph file I/O and the bandwidth-aware DRAM model."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.io import (
+    from_string,
+    load_csr,
+    load_edge_list,
+    save_csr,
+    save_edge_list,
+)
+from repro.hardware.config import HardwareConfig
+from repro.hardware.dram import DRAMModel
+from repro.hardware.hierarchy import MemorySystem
+
+
+class TestEdgeListIO:
+    def test_roundtrip_unweighted(self, tmp_path):
+        g = generators.power_law(60, 200, seed=1)
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path, num_vertices=60)
+        assert loaded == g
+
+    def test_roundtrip_weighted(self, tmp_path):
+        g = generators.power_law(40, 120, seed=2, weighted=True)
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path, num_vertices=40)
+        assert loaded == g
+
+    def test_snap_style_comments(self):
+        g = from_string(
+            "# Nodes: 3 Edges: 2\n"
+            "# src dst\n"
+            "0\t1\n"
+            "1\t2\n"
+        )
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_weight_autodetect(self):
+        g = from_string("0 1 2.5\n1 0 0.5\n")
+        assert g.is_weighted
+        assert g.edge_weight(0) == 2.5
+
+    def test_vertex_count_inferred(self):
+        g = from_string("0 9\n")
+        assert g.num_vertices == 10
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            from_string("0\n")
+
+    def test_missing_weight_rejected(self):
+        with pytest.raises(ValueError):
+            from_string("0 1 2.0\n1 2\n")
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            from_string("-1 2\n")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        g = load_edge_list(path, num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+
+
+class TestCSRBinaryIO:
+    def test_roundtrip(self, tmp_path):
+        g = generators.power_law(80, 300, seed=3, weighted=True)
+        path = tmp_path / "g.npz"
+        save_csr(g, path)
+        assert load_csr(path) == g
+
+    def test_roundtrip_unweighted(self, tmp_path):
+        g = generators.power_law(80, 300, seed=3)
+        path = tmp_path / "g.npz"
+        save_csr(g, path)
+        loaded = load_csr(path)
+        assert loaded == g
+        assert not loaded.is_weighted
+
+
+class TestDRAMModel:
+    def test_idle_channel_base_latency(self):
+        dram = DRAMModel(channels=4, base_latency=100)
+        assert dram.access(0, now=0.0) == 100
+
+    def test_back_to_back_queues(self):
+        dram = DRAMModel(channels=1, base_latency=100, service_cycles=10.0)
+        first = dram.access(0, now=0.0)
+        second = dram.access(64, now=0.0)  # same channel, still busy
+        assert first == 100
+        assert second > 100
+        assert dram.average_queueing() > 0
+
+    def test_spread_channels_no_queueing(self):
+        dram = DRAMModel(channels=8, base_latency=100, service_cycles=10.0)
+        lines = [line for line in range(64) if dram.channel_of(line) != dram.channel_of(0)]
+        dram.access(0, now=0.0)
+        assert dram.access(lines[0], now=0.0) == 100
+
+    def test_later_requests_find_channel_free(self):
+        dram = DRAMModel(channels=1, base_latency=100, service_cycles=10.0)
+        dram.access(0, now=0.0)
+        assert dram.access(64, now=1000.0) == 100
+
+    def test_reset(self):
+        dram = DRAMModel(channels=1)
+        dram.access(0, now=0.0)
+        dram.reset()
+        assert dram.requests == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DRAMModel(channels=0)
+        with pytest.raises(ValueError):
+            DRAMModel(service_cycles=0)
+
+
+class TestBandwidthAwareHierarchy:
+    def test_disabled_by_default(self):
+        ms = MemorySystem(HardwareConfig.scaled(num_cores=1))
+        assert ms.dram is None
+
+    def test_enabled_via_config(self):
+        from dataclasses import replace
+
+        cfg = replace(HardwareConfig.scaled(num_cores=1), dram_channels=12)
+        ms = MemorySystem(cfg)
+        assert ms.dram is not None
+        # a burst of misses at the same instant shows queueing on some
+        latencies = [ms.access(0, i * 64, now=0.0) for i in range(64)]
+        assert max(latencies) >= cfg.dram_latency
+
+    def test_functional_results_unchanged(self):
+        """The DRAM model affects timing only, never final states."""
+        from dataclasses import replace
+
+        from repro import algorithms, runtime
+
+        g = generators.power_law(80, 400, seed=5, weighted=True)
+        g = generators.ensure_reachable(g, 0, seed=5)
+        base_hw = HardwareConfig.scaled(num_cores=4)
+        bw_hw = replace(base_hw, dram_channels=12)
+        a = runtime.run("depgraph-h", g, algorithms.SSSP(0), base_hw)
+        b = runtime.run("depgraph-h", g, algorithms.SSSP(0), bw_hw)
+        assert np.array_equal(a.states, b.states)

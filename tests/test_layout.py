@@ -1,0 +1,64 @@
+"""Tests for the simulated address-space layout."""
+
+from repro.graph import generators
+from repro.hardware.layout import MemoryLayout
+
+
+def make_layout(n=100, m=400, cores=4, hub_entries=16):
+    g = generators.erdos_renyi(n, m, seed=1)
+    return MemoryLayout(g, cores, hub_entries), g
+
+
+class TestMemoryLayout:
+    def test_regions_disjoint(self):
+        layout, _ = make_layout()
+        regions = [
+            layout.offsets,
+            layout.targets,
+            layout.weights,
+            layout.states,
+            layout.deltas,
+            layout.queues,
+            layout.hub_index,
+            layout.hub_hash,
+            layout.hub_bitmap,
+        ]
+        spans = sorted((r.base, r.end, r.name) for r in regions)
+        for (b1, e1, n1), (b2, e2, n2) in zip(spans, spans[1:]):
+            assert e1 <= b2, f"{n1} overlaps {n2}"
+
+    def test_element_addressing(self):
+        layout, _ = make_layout()
+        assert layout.states.addr(0) == layout.states.base
+        assert layout.states.addr(5) == layout.states.base + 40
+        assert layout.offsets.addr(3) - layout.offsets.addr(2) == 8
+
+    def test_hub_entry_stride(self):
+        layout, _ = make_layout()
+        delta = layout.hub_index.addr(1) - layout.hub_index.addr(0)
+        assert delta == MemoryLayout.HUB_ENTRY_BYTES
+
+    def test_consecutive_edges_share_lines(self):
+        """CSR streaming locality: eight 8-byte targets per 64 B line."""
+        layout, _ = make_layout()
+        line0 = layout.targets.addr(0) // 64
+        assert layout.targets.addr(7) // 64 == line0
+        assert layout.targets.addr(8) // 64 == line0 + 1
+
+    def test_bitmap_packing(self):
+        layout, _ = make_layout()
+        assert layout.bitmap_addr(0) == layout.bitmap_addr(7)
+        assert layout.bitmap_addr(8) == layout.bitmap_addr(0) + 1
+
+    def test_empty_graph_layout(self):
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph.from_edges(1, [])
+        layout = MemoryLayout(g, 1)
+        assert layout.targets.length >= 1  # regions never empty
+
+    def test_hash_addresses_in_region(self):
+        layout, _ = make_layout(hub_entries=8)
+        for v in range(200):
+            addr = layout.hub_hash_addr(v)
+            assert layout.hub_hash.base <= addr < layout.hub_hash.end

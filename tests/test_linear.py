@@ -1,0 +1,112 @@
+"""Tests for the DepFunc linear-dependency algebra (plus hypothesis
+properties on composition — the correctness core of the hub index)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.algorithms.linear import (
+    DepFunc,
+    IDENTITY,
+    compose_path,
+    solve_from_observations,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+mu_values = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+caps = st.one_of(st.just(math.inf), st.floats(min_value=-1e6, max_value=1e6))
+
+
+def depfuncs():
+    return st.builds(DepFunc, mu_values, finite, caps)
+
+
+class TestDepFunc:
+    def test_identity(self):
+        assert IDENTITY(42.0) == 42.0
+        assert IDENTITY.is_identity
+
+    def test_affine_evaluation(self):
+        f = DepFunc(2.0, 3.0)
+        assert f(4.0) == 11.0
+
+    def test_cap_clamps(self):
+        f = DepFunc(1.0, 0.0, cap=5.0)
+        assert f(3.0) == 3.0
+        assert f(9.0) == 5.0
+
+    def test_negative_mu_rejected(self):
+        with pytest.raises(ValueError):
+            DepFunc(-1.0, 0.0)
+
+    def test_then_order(self):
+        double = DepFunc(2.0, 0.0)
+        add_one = DepFunc(1.0, 1.0)
+        assert double.then(add_one)(3.0) == 7.0  # add_one(double(3))
+        assert add_one.then(double)(3.0) == 8.0  # double(add_one(3))
+
+    @given(depfuncs(), depfuncs(), finite)
+    def test_composition_matches_pointwise(self, f, g, x):
+        """f.then(g)(x) == g(f(x)) for every x (closure under composition)."""
+        composed = f.then(g)
+        expected = g(f(x))
+        got = composed(x)
+        assert got == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+    @given(st.lists(depfuncs(), min_size=0, max_size=6), finite)
+    def test_compose_path_matches_sequential_application(self, funcs, x):
+        """Equation (4): the composed shortcut equals hop-by-hop application."""
+        composed = compose_path(funcs)
+        value = x
+        for func in funcs:
+            value = func(value)
+        assert composed(x) == pytest.approx(value, rel=1e-9, abs=1e-6)
+
+    @given(depfuncs())
+    def test_identity_neutral(self, f):
+        assert f.then(IDENTITY).mu == f.mu
+        assert IDENTITY.then(f).mu == f.mu
+
+
+class TestSolveFromObservations:
+    def test_recovers_affine(self):
+        """The DDMU's two-round solve recovers (mu, xi) exactly."""
+        f = DepFunc(0.25, 1.5)
+        s1, s2 = 4.0, 10.0
+        solved = solve_from_observations(s1, f(s1), s2, f(s2))
+        assert solved.mu == pytest.approx(0.25)
+        assert solved.xi == pytest.approx(1.5)
+
+    def test_sssp_like(self):
+        # mu=1, xi=path length (Figure 5b: f(s5) = s5 + 1.4)
+        solved = solve_from_observations(0.0, 1.4, 3.0, 4.4)
+        assert solved.mu == pytest.approx(1.0)
+        assert solved.xi == pytest.approx(1.4)
+
+    def test_unchanged_head_rejected(self):
+        with pytest.raises(ValueError):
+            solve_from_observations(2.0, 5.0, 2.0, 6.0)
+
+    def test_negative_mu_rejected(self):
+        # observations polluted by other paths imply a non-monotone function
+        with pytest.raises(ValueError):
+            solve_from_observations(0.0, 10.0, 1.0, 5.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=10.0),
+        finite,
+        st.floats(min_value=-1e5, max_value=1e5),
+        st.floats(min_value=-1e5, max_value=1e5),
+    )
+    def test_roundtrip_random_affine(self, mu, xi, s1, s2):
+        from hypothesis import assume
+
+        assume(abs(s1 - s2) > 1e-3)
+        assume(abs(mu) < 1e4 and abs(xi) < 1e5)
+        f = DepFunc(mu, xi)
+        solved = solve_from_observations(s1, f(s1), s2, f(s2))
+        probe = 17.0
+        assert solved(probe) == pytest.approx(f(probe), rel=1e-6, abs=1e-4)

@@ -1,0 +1,125 @@
+"""Tests for ExecutionResult accounting, metrics helpers, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.report import format_table
+from repro.metrics.utilization import utilization_breakdown
+from repro.metrics.validation import max_state_error, states_match
+from repro.runtime.stats import ExecutionResult, RoundLog
+
+
+def make_result(**overrides):
+    base = dict(
+        system="test",
+        algorithm="sssp",
+        states=np.asarray([0.0, 1.0]),
+        total_updates=100,
+        edge_operations=500,
+        rounds=3,
+        cycles=1000.0,
+        core_busy=[800.0, 600.0],
+        compute_cycles=300.0,
+        memory_cycles=900.0,
+        overhead_cycles=200.0,
+        state_memory_cycles=400.0,
+        num_cores=2,
+        converged=True,
+    )
+    base.update(overrides)
+    return ExecutionResult(**base)
+
+
+class TestExecutionResult:
+    def test_busy_and_idle(self):
+        r = make_result()
+        assert r.busy_cycles == 1400.0
+        assert r.idle_cycles == 600.0
+
+    def test_utilization(self):
+        r = make_result()
+        assert r.utilization() == pytest.approx(0.7)
+
+    def test_effective_utilization_formula(self):
+        """r_e = u_s * U / u_d (Section II)."""
+        r = make_result(total_updates=200)
+        u_s = 50
+        assert r.effective_utilization(u_s) == pytest.approx(
+            (50 / 200) * r.utilization()
+        )
+
+    def test_effective_utilization_capped(self):
+        # a system cannot be more than 100% useful
+        r = make_result(total_updates=10)
+        assert r.effective_utilization(1000) == pytest.approx(r.utilization())
+
+    def test_state_processing_fraction(self):
+        r = make_result()
+        # (compute + state_mem) / busy = (300 + 400) / 1400
+        assert r.state_processing_fraction == pytest.approx(0.5)
+        assert r.state_processing_cycles == pytest.approx(500.0)
+        assert r.other_cycles == pytest.approx(500.0)
+
+    def test_speedup_and_normalization(self):
+        fast = make_result(cycles=500.0)
+        slow = make_result(cycles=2000.0)
+        assert fast.speedup_over(slow) == 4.0
+        small = make_result(total_updates=25)
+        big = make_result(total_updates=100)
+        assert small.updates_normalized_to(big) == 0.25
+
+    def test_zero_update_edge_cases(self):
+        r = make_result(total_updates=0)
+        assert r.effective_utilization(10) == 0.0
+        base = make_result(total_updates=0)
+        assert make_result().updates_normalized_to(base) == 0.0
+
+
+class TestUtilizationBreakdown:
+    def test_useful_plus_useless_equals_total(self):
+        r = make_result(total_updates=300)
+        b = utilization_breakdown(r, sequential_updates=100)
+        assert b.useful + b.useless == pytest.approx(b.total)
+        assert b.useful_update_ratio == pytest.approx(b.useful / b.total)
+
+
+class TestValidation:
+    def test_matching_infinities_ignored(self):
+        a = np.asarray([1.0, np.inf])
+        b = np.asarray([1.0, np.inf])
+        assert max_state_error(a, b) == 0.0
+
+    def test_mismatched_infinity_is_infinite_error(self):
+        a = np.asarray([1.0, np.inf])
+        b = np.asarray([1.0, 5.0])
+        assert max_state_error(a, b) == np.inf
+
+    def test_states_match_tolerance(self):
+        a = np.asarray([1.0, 2.0])
+        b = np.asarray([1.0005, 2.0])
+        assert states_match(a, b, tol=1e-3)
+        assert not states_match(a, b, tol=1e-4)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            max_state_error(np.zeros(2), np.zeros(3))
+
+
+class TestFormatTable:
+    def test_alignment_and_precision(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bb", 2.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.235" in text
+        assert lines[0].startswith("name")
+
+    def test_non_float_cells(self):
+        text = format_table(["x"], [[42], ["s"]])
+        assert "42" in text and "s" in text
+
+
+class TestRoundLog:
+    def test_fields(self):
+        log = RoundLog(2, 50, 40, 1234.0)
+        assert log.round_index == 2
+        assert log.active_vertices == 50

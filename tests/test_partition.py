@@ -1,0 +1,118 @@
+"""Tests for graph partitioning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import generators
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import (
+    Partition,
+    Partitioning,
+    by_edge_count,
+    by_vertex_count,
+)
+
+
+class TestPartition:
+    def test_contains(self):
+        p = Partition(0, 5, 10)
+        assert 5 in p and 9 in p
+        assert 4 not in p and 10 not in p
+
+    def test_vertices_range(self):
+        p = Partition(1, 2, 5)
+        assert list(p.vertices()) == [2, 3, 4]
+        assert p.num_vertices == 3
+
+
+class TestByVertexCount:
+    def test_tiles_all_vertices(self):
+        g = generators.erdos_renyi(100, 400, seed=1)
+        parts = by_vertex_count(g, 7)
+        assert parts[0].begin == 0
+        assert parts[-1].end == 100
+        total = sum(p.num_vertices for p in parts)
+        assert total == 100
+
+    def test_roughly_equal_sizes(self):
+        g = generators.erdos_renyi(100, 200, seed=1)
+        parts = by_vertex_count(g, 4)
+        sizes = [p.num_vertices for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_owner_of(self):
+        g = generators.erdos_renyi(100, 200, seed=1)
+        parts = by_vertex_count(g, 4)
+        for v in range(100):
+            assert v in parts[parts.owner_of(v)]
+
+    def test_owner_of_out_of_range(self):
+        g = generators.erdos_renyi(10, 20, seed=1)
+        parts = by_vertex_count(g, 2)
+        with pytest.raises(IndexError):
+            parts.owner_of(10)
+
+    def test_invalid_num_parts(self):
+        g = generators.erdos_renyi(10, 20, seed=1)
+        with pytest.raises(ValueError):
+            by_vertex_count(g, 0)
+
+    def test_more_parts_than_vertices(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        parts = by_vertex_count(g, 8)
+        assert len(parts) == 8
+        assert sum(p.num_vertices for p in parts) == 3
+
+
+class TestByEdgeCount:
+    def test_balances_edges(self):
+        """A star graph: the hub's edges dominate, so the hub's partition
+        should be small in vertices."""
+        g = generators.star(1000)
+        parts = by_edge_count(g, 4)
+        hub_part = parts[parts.owner_of(0)]
+        assert hub_part.num_vertices < 1000 // 2
+
+    def test_tiles_all_vertices(self):
+        g = generators.power_law(500, 4000, seed=3)
+        parts = by_edge_count(g, 8)
+        assert parts[0].begin == 0 and parts[-1].end == 500
+        covered = set()
+        for p in parts:
+            covered.update(p.vertices())
+        assert covered == set(range(500))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        parts=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=5),
+    )
+    def test_partitioning_invariants(self, n, parts, seed):
+        g = generators.erdos_renyi(n, min(3 * n, n * (n - 1)), seed=seed)
+        partitioning = by_edge_count(g, parts)
+        # contiguity & coverage invariants hold for every shape
+        expect = 0
+        for p in partitioning:
+            assert p.begin == expect
+            expect = p.end
+        assert expect == n
+        for v in range(n):
+            assert v in partitioning[partitioning.owner_of(v)]
+
+
+class TestPartitioningValidation:
+    def test_rejects_gap(self):
+        g = CSRGraph.from_edges(4, [(0, 1)])
+        with pytest.raises(ValueError):
+            Partitioning(g, [Partition(0, 0, 2), Partition(1, 3, 4)])
+
+    def test_rejects_short_cover(self):
+        g = CSRGraph.from_edges(4, [(0, 1)])
+        with pytest.raises(ValueError):
+            Partitioning(g, [Partition(0, 0, 2)])
+
+    def test_rejects_empty(self):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            Partitioning(g, [])

@@ -1,0 +1,98 @@
+"""Cross-validation of the reference solvers against networkx.
+
+The reference module is the ground truth for every runtime test, so it is
+itself validated against an independent implementation.
+"""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import reference
+from repro.graph import generators
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = generators.power_law(150, 900, alpha=2.0, seed=13, weighted=True)
+    return generators.ensure_reachable(g, root=0, seed=13)
+
+
+@pytest.fixture(scope="module")
+def nx_graph(graph):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for s, t, w in graph.edges():
+        g.add_edge(s, t, weight=w)
+    return g
+
+
+class TestAgainstNetworkx:
+    def test_sssp_matches_networkx_dijkstra(self, graph, nx_graph):
+        ours = reference.sssp(graph, 0)
+        theirs = nx.single_source_dijkstra_path_length(nx_graph, 0)
+        for v in range(graph.num_vertices):
+            if v in theirs:
+                assert ours[v] == pytest.approx(theirs[v], abs=1e-9)
+            else:
+                assert math.isinf(ours[v])
+
+    def test_bfs_matches_networkx(self, graph, nx_graph):
+        ours = reference.bfs(graph, 0)
+        theirs = nx.single_source_shortest_path_length(nx_graph, 0)
+        for v in range(graph.num_vertices):
+            if v in theirs:
+                assert ours[v] == theirs[v]
+            else:
+                assert math.isinf(ours[v])
+
+    def test_wcc_matches_networkx(self, graph, nx_graph):
+        ours = reference.wcc(graph)
+        components = list(nx.weakly_connected_components(nx_graph))
+        for comp in components:
+            labels = {ours[v] for v in comp}
+            assert len(labels) == 1
+            assert labels.pop() == max(comp)
+
+    def test_pagerank_proportional_to_networkx(self, graph, nx_graph):
+        """Our unnormalised fixpoint is networkx's pagerank up to scale
+        (networkx normalises to sum 1 and splits dangling mass; compare
+        rank ORDER of the top vertices, which is what the algorithm is
+        for)."""
+        ours = reference.pagerank(graph, damping=0.85)
+        theirs = nx.pagerank(nx_graph, alpha=0.85, max_iter=200, tol=1e-10)
+        ours_top = list(np.argsort(ours)[::-1][:10])
+        theirs_top = sorted(theirs, key=theirs.get, reverse=True)[:10]
+        # the same vertices dominate both rankings
+        assert len(set(ours_top) & set(theirs_top)) >= 7
+
+    def test_kcore_matches_networkx(self, graph):
+        k = 4
+        ours = reference.kcore(graph, k)
+        sym = reference.symmetrize(graph)
+        g = nx.Graph()
+        g.add_nodes_from(range(sym.num_vertices))
+        for s, t, _ in sym.edges():
+            g.add_edge(s, t)
+        g.remove_edges_from(nx.selfloop_edges(g))
+        core = nx.k_core(g, k)
+        expected = np.zeros(graph.num_vertices, dtype=bool)
+        expected[list(core.nodes)] = True
+        assert (ours == expected).all()
+
+    def test_katz_matches_networkx_ordering(self, graph, nx_graph):
+        attenuation = 0.005
+        ours = reference.katz(graph, attenuation=attenuation)
+        theirs = nx.katz_centrality(
+            # networkx sums over in-edges, matching our out-edge scatter
+            nx_graph,
+            alpha=attenuation,
+            beta=1.0,
+            max_iter=5000,
+            tol=1e-12,
+            normalized=False,
+        )
+        theirs_arr = np.asarray([theirs[v] for v in range(graph.num_vertices)])
+        assert np.allclose(ours, theirs_arr, rtol=1e-4, atol=1e-6)

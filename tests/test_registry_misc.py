@@ -1,0 +1,118 @@
+"""Tests for the system registry, run_many, and miscellaneous runtime
+behaviours not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro import algorithms, runtime
+from repro.graph import generators
+from repro.hardware import HardwareConfig
+
+HW = HardwareConfig.scaled(num_cores=4)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = generators.power_law(90, 450, seed=17, weighted=True)
+    return generators.ensure_reachable(g, 0, seed=17)
+
+
+class TestRegistry:
+    def test_all_names_runnable(self, graph):
+        for system in runtime.SYSTEM_NAMES:
+            result = runtime.run(system, graph, algorithms.SSSP(0), HW)
+            assert result.system == system
+
+    def test_accelerator_and_software_subsets(self):
+        assert set(runtime.ACCELERATOR_SYSTEMS) <= set(runtime.SYSTEM_NAMES)
+        assert set(runtime.SOFTWARE_SYSTEMS) <= set(runtime.SYSTEM_NAMES)
+        assert "depgraph-h" in runtime.ACCELERATOR_SYSTEMS
+
+    def test_run_many_fresh_algorithms(self, graph):
+        results = runtime.run_many(
+            ("ligra-o", "depgraph-h"), graph, lambda: algorithms.SSSP(0), HW
+        )
+        assert set(results) == {"ligra-o", "depgraph-h"}
+        assert np.array_equal(
+            results["ligra-o"].states, results["depgraph-h"].states
+        )
+
+    def test_depgraph_options_forwarded(self, graph):
+        result = runtime.run(
+            "depgraph-h", graph, algorithms.SSSP(0), HW, stack_depth=3, lam=0.05
+        )
+        assert result.converged
+
+    def test_h_w_ignores_hub_enabled_override(self, graph):
+        result = runtime.run(
+            "depgraph-h-w", graph, algorithms.SSSP(0), HW, hub_enabled=True
+        )
+        assert result.hub_index_entries == 0
+
+    def test_default_hardware(self, graph):
+        result = runtime.run("ligra-o", graph, algorithms.SSSP(0))
+        assert result.num_cores == 64
+
+
+class TestMinnowGuards:
+    def test_max_pops_guard(self, graph):
+        from repro.runtime.minnow_rt import run_minnow
+
+        result = run_minnow(graph, algorithms.IncrementalPageRank(), HW, max_pops=20)
+        assert not result.converged
+        assert result.total_updates <= 20
+
+    def test_minnow_engine_ops_counted(self, graph):
+        result = runtime.run("minnow", graph, algorithms.SSSP(0), HW)
+        assert result.engine_ops > 0
+
+
+class TestSequentialBaseline:
+    def test_single_core(self, graph):
+        result = runtime.run("sequential", graph, algorithms.SSSP(0), HW)
+        assert result.num_cores == 1
+        assert result.utilization() > 0.5  # one core, no barrier waiting
+
+    def test_no_hub_machinery(self, graph):
+        result = runtime.run(
+            "sequential", graph, algorithms.IncrementalPageRank(), HW
+        )
+        assert result.hub_index_entries == 0
+        assert result.shortcut_applications == 0
+
+
+class TestTransformabilityMatrix:
+    """Which algorithms admit the dependency transformation (Table I)."""
+
+    @pytest.mark.parametrize(
+        "factory, expected",
+        [
+            (lambda: algorithms.IncrementalPageRank(), True),
+            (lambda: algorithms.Adsorption(), True),
+            (lambda: algorithms.SSSP(0), True),
+            (lambda: algorithms.WCC(), True),
+            (lambda: algorithms.SSWP(0), True),
+            (lambda: algorithms.KatzCentrality(), True),
+            (lambda: algorithms.BFS(0), True),
+            (lambda: algorithms.KCore(3), False),
+        ],
+    )
+    def test_supports_transformation(self, factory, expected):
+        assert algorithms.supports_transformation(factory()) is expected
+
+    def test_edge_linear_matches_edge_compute_everywhere(self, graph):
+        """Property 2: the declared linear coefficients agree with
+        EdgeCompute on every edge, for every transformable algorithm."""
+        for factory in (
+            lambda: algorithms.IncrementalPageRank(),
+            lambda: algorithms.SSSP(0),
+            lambda: algorithms.SSWP(0),
+            lambda: algorithms.KatzCentrality(),
+        ):
+            alg = factory()
+            for s, t, w in list(graph.edges())[:200]:
+                func = alg.edge_linear(s, w, graph)
+                for value in (0.0, 1.0, 7.5):
+                    assert func(value) == pytest.approx(
+                        alg.edge_compute(s, value, w, graph), rel=1e-12
+                    )

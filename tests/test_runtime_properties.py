@@ -1,0 +1,145 @@
+"""Hypothesis property tests over the runtimes and core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import algorithms, runtime
+from repro.algorithms import reference
+from repro.graph import generators
+from repro.hardware import HardwareConfig
+
+HW = HardwareConfig.scaled(num_cores=4)
+
+SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+graph_params = st.tuples(
+    st.integers(min_value=8, max_value=80),  # vertices
+    st.integers(min_value=1, max_value=4),  # avg degree
+    st.integers(min_value=0, max_value=10),  # seed
+)
+
+
+def build(params):
+    n, deg, seed = params
+    g = generators.power_law(n, n * deg, alpha=2.0, seed=seed, weighted=True)
+    return generators.ensure_reachable(g, root=0, seed=seed)
+
+
+class TestSSSPProperties:
+    @SETTINGS
+    @given(graph_params)
+    def test_depgraph_matches_dijkstra(self, params):
+        g = build(params)
+        res = runtime.run("depgraph-h", g, algorithms.SSSP(0), HW)
+        exp = reference.sssp(g, 0)
+        for got, want in zip(res.states, exp):
+            if math.isinf(want):
+                assert math.isinf(got)
+            else:
+                assert got == pytest.approx(want, abs=1e-9)
+
+    @SETTINGS
+    @given(graph_params)
+    def test_triangle_inequality_on_results(self, params):
+        """final distances satisfy d(t) <= d(s) + w(s, t) for every edge."""
+        g = build(params)
+        res = runtime.run("depgraph-h", g, algorithms.SSSP(0), HW)
+        d = res.states
+        for s, t, w in g.edges():
+            if not math.isinf(d[s]):
+                assert d[t] <= d[s] + w + 1e-9
+
+    @SETTINGS
+    @given(graph_params)
+    def test_all_systems_agree(self, params):
+        g = build(params)
+        results = [
+            runtime.run(sys_name, g, algorithms.SSSP(0), HW).states
+            for sys_name in ("ligra", "minnow", "depgraph-h")
+        ]
+        for other in results[1:]:
+            both_inf = np.isinf(results[0]) & np.isinf(other)
+            diff = np.where(both_inf, 0.0, results[0] - other)
+            assert np.max(np.abs(diff)) < 1e-9
+
+
+class TestWCCProperties:
+    @SETTINGS
+    @given(graph_params)
+    def test_labels_are_component_maxima(self, params):
+        g = build(params)
+        res = runtime.run("depgraph-h", g, algorithms.WCC(), HW)
+        exp = reference.wcc(g)
+        assert np.array_equal(res.states, exp)
+
+    @SETTINGS
+    @given(graph_params)
+    def test_endpoints_share_labels(self, params):
+        """every edge's endpoints end in the same component."""
+        g = build(params)
+        res = runtime.run("depgraph-h", g, algorithms.WCC(), HW)
+        for s, t, _ in g.edges():
+            assert res.states[s] == res.states[t]
+
+
+class TestPageRankProperties:
+    @SETTINGS
+    @given(graph_params)
+    def test_mass_close_to_reference(self, params):
+        g = build(params)
+        res = runtime.run("depgraph-h", g, algorithms.IncrementalPageRank(), HW)
+        exp = reference.pagerank(g)
+        assert np.max(np.abs(res.states - exp)) < 5e-3
+
+    @SETTINGS
+    @given(graph_params)
+    def test_states_bounded_below(self, params):
+        """every vertex keeps at least its injection mass 1 - d."""
+        g = build(params)
+        res = runtime.run("depgraph-h", g, algorithms.IncrementalPageRank(), HW)
+        assert min(res.states) >= 0.15 - 1e-6
+
+
+class TestAccountingInvariants:
+    @SETTINGS
+    @given(graph_params, st.sampled_from(["ligra-o", "depgraph-h", "minnow"]))
+    def test_cycle_accounting_consistent(self, params, system):
+        g = build(params)
+        res = runtime.run(system, g, algorithms.SSSP(0), HW)
+        # category split sums to the per-core busy total
+        assert res.busy_cycles == pytest.approx(
+            res.compute_cycles + res.memory_cycles + res.overhead_cycles
+        )
+        # no core's busy time exceeds the makespan
+        assert max(res.core_busy) <= res.cycles + 1e-6
+        # utilization is a valid fraction
+        assert 0.0 <= res.utilization() <= 1.0 + 1e-9
+        # state-memory is a subset of memory
+        assert res.state_memory_cycles <= res.memory_cycles + 1e-6
+
+    @SETTINGS
+    @given(graph_params)
+    def test_updates_at_least_reachable_actives(self, params):
+        """every reachable vertex must be updated at least once by SSSP."""
+        g = build(params)
+        res = runtime.run("depgraph-h", g, algorithms.SSSP(0), HW)
+        reachable = sum(1 for s in res.states if not math.isinf(s))
+        assert res.total_updates >= reachable
+
+    @SETTINGS
+    @given(graph_params)
+    def test_energy_positive_components(self, params):
+        g = build(params)
+        res = runtime.run("depgraph-h", g, algorithms.SSSP(0), HW)
+        report = res.energy()
+        assert report.total > 0
+        assert all(v >= 0 for v in report.components.values())
+        breakdown = report.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
