@@ -21,7 +21,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure and table.
 """
 
-from . import accel, algorithms, graph, hardware, runtime
+from . import accel, algorithms, graph, hardware, observe, runtime
 from .graph import CSRGraph, datasets, generators
 from .hardware import HardwareConfig
 from .runtime import ExecutionResult, run, run_many
@@ -33,6 +33,7 @@ __all__ = [
     "algorithms",
     "graph",
     "hardware",
+    "observe",
     "runtime",
     "CSRGraph",
     "datasets",

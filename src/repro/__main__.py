@@ -4,6 +4,7 @@ Examples::
 
     python -m repro run --system depgraph-h --dataset LJ --algorithm sssp
     python -m repro compare --dataset FS --algorithm pagerank --scale 0.4
+    python -m repro trace pagerank GL --scale 0.1 --cores 8
     python -m repro experiment fig11
     python -m repro list
 """
@@ -13,8 +14,9 @@ from __future__ import annotations
 import argparse
 import importlib
 import sys
+from pathlib import Path
 
-from . import algorithms, runtime
+from . import algorithms, observe, runtime
 from .graph import datasets
 from .hardware import HardwareConfig
 
@@ -35,6 +37,13 @@ EXPERIMENT_MODULES = {
     "table4": "table04_area",
     "preprocessing": "preprocessing",
 }
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,6 +72,35 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_p = sub.add_parser("experiment", help="regenerate a figure/table")
     exp_p.add_argument("name", choices=sorted(EXPERIMENT_MODULES))
 
+    trace_p = sub.add_parser(
+        "trace",
+        help="run one experiment with tracing; write a Perfetto-loadable "
+        "Chrome trace, metrics.json, and a text flame summary",
+    )
+    trace_p.add_argument(
+        "algorithm",
+        choices=sorted(
+            {**algorithms.PAPER_ALGORITHMS, **algorithms.EXTENSION_ALGORITHMS}
+        ),
+    )
+    trace_p.add_argument("dataset", choices=datasets.DATASET_NAMES)
+    trace_p.add_argument(
+        "--system", default="depgraph-h", choices=runtime.SYSTEM_NAMES
+    )
+    trace_p.add_argument("--scale", type=float, default=0.2)
+    trace_p.add_argument("--cores", type=int, default=16)
+    trace_p.add_argument(
+        "--out",
+        default="results/trace",
+        help="output directory (default: results/trace)",
+    )
+    trace_p.add_argument(
+        "--capacity",
+        type=_positive_int,
+        default=observe.DEFAULT_CAPACITY,
+        help="trace ring-buffer capacity, in events",
+    )
+
     sub.add_parser("list", help="list systems, algorithms, datasets")
     return parser
 
@@ -73,6 +111,54 @@ def _print_result(result) -> None:
         f"updates={result.total_updates:8d} rounds={result.rounds:5d} "
         f"util={result.utilization():.2f} converged={result.converged}"
     )
+
+
+def _run_trace(args) -> int:
+    """The ``trace`` subcommand: one traced run + trace/metrics artifacts."""
+    graph = datasets.load(args.dataset, scale=args.scale)
+    algorithm = algorithms.make(args.algorithm)
+    hardware = HardwareConfig.scaled(num_cores=args.cores)
+    tracer = observe.Tracer(capacity=args.capacity)
+    print(f"dataset {args.dataset}: {graph}")
+    result = runtime.run(args.system, graph, algorithm, hardware, tracer=tracer)
+    _print_result(result)
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"{args.system}_{args.algorithm}_{args.dataset}"
+    trace_path = out_dir / f"{stem}.trace.json"
+    metrics_path = out_dir / f"{stem}.metrics.json"
+    observe.write_chrome_trace(
+        tracer,
+        trace_path,
+        system=args.system,
+        algorithm=args.algorithm,
+        dataset=args.dataset,
+        scale=args.scale,
+        cores=args.cores,
+    )
+    # The registry was already flushed into result.extra; re-derive it for
+    # the standalone metrics file so the two artifacts match.
+    registry = observe.MetricRegistry()
+    for key, value in result.extra.items():
+        if key.startswith("obs."):
+            registry.set(key[len("obs."):], value)
+    registry.write_json(
+        metrics_path,
+        system=args.system,
+        algorithm=args.algorithm,
+        dataset=args.dataset,
+        scale=args.scale,
+        cores=args.cores,
+        cycles=result.cycles,
+        rounds=result.rounds,
+        converged=result.converged,
+    )
+    print(f"\ntrace:   {trace_path}  (open in https://ui.perfetto.dev)")
+    print(f"metrics: {metrics_path}")
+    print("\nwhere the cycles went (by span):")
+    print(observe.flame_summary(tracer))
+    return 0
 
 
 def main(argv=None) -> int:
@@ -96,6 +182,8 @@ def main(argv=None) -> int:
         )
         module.main()
         return 0
+    if args.command == "trace":
+        return _run_trace(args)
 
     graph = datasets.load(args.dataset, scale=args.scale)
     algorithm = algorithms.make(args.algorithm)

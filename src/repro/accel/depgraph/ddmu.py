@@ -51,6 +51,18 @@ class DDMU:
         self.enabled = supports_transformation(algorithm)
         #: operation counter for timing/energy accounting
         self.ops = 0
+        # Dependency-resolution counters for the observability layer
+        # (always on: one int increment per DDMU operation).
+        #: core-paths reported by HDTL (inserts + refreshes)
+        self.paths_identified = 0
+        #: distinct hub-index entries this DDMU created
+        self.entries_created = 0
+        #: usable shortcut lists served on root pops
+        self.probes = 0
+        #: shortcut influences evaluated (f = mu*s + xi applications)
+        self.influence_evals = 0
+        #: learned-mode (s_head, s_tail) observations fed to the index
+        self.observations = 0
 
     # ------------------------------------------------------------------
     @property
@@ -89,12 +101,14 @@ class DDMU:
         if not self.enabled or len(path) < 2:
             return None
         self.ops += 1
+        self.paths_identified += 1
         head, tail = int(path[0]), int(path[-1])
         path_id = int(path[1])  # the second vertex identifies the core-path
         entry = self.hub_index.get(head, tail, path_id)
         if entry is not None:
             return entry
         func = self._compose(path) if self.mode == "analytic" else None
+        self.entries_created += 1
         return self.hub_index.insert(head, tail, path_id, tuple(path), func)
 
     def path_processed(
@@ -105,6 +119,7 @@ class DDMU:
         if self.mode != "learned" or entry is None:
             return
         self.ops += 1
+        self.observations += 1
         self.hub_index.observe(entry, s_head, s_tail)
 
     # ------------------------------------------------------------------
@@ -114,6 +129,7 @@ class DDMU:
         if not self.enabled:
             return []
         self.ops += 1
+        self.probes += 1
         return self.hub_index.lookup_head(root)
 
     def shortcut_influence(
@@ -121,5 +137,18 @@ class DDMU:
     ) -> float:
         """Evaluate ``f_(head, tail)`` on the value the head propagates."""
         self.ops += 1
+        self.influence_evals += 1
         assert entry.func is not None
         return entry.func(propagated_value)
+
+    # ------------------------------------------------------------------
+    def stats_dict(self) -> dict:
+        """Dependency-resolution counters for the observability layer."""
+        return {
+            "ops": self.ops,
+            "paths_identified": self.paths_identified,
+            "entries_created": self.entries_created,
+            "probes": self.probes,
+            "influence_evals": self.influence_evals,
+            "observations": self.observations,
+        }

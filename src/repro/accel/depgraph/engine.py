@@ -68,6 +68,15 @@ class DepGraphEngine:
         self.time = 0.0
         self.ops = 0
         self.stall_cycles = 0.0
+        #: fetches issued, by HDTL stage kind (offset/neighbor/weight/state)
+        self.fetch_counts: dict = {
+            FETCH_OFFSET: 0,
+            FETCH_NEIGHBOR: 0,
+            FETCH_WEIGHT: 0,
+            FETCH_STATE: 0,
+        }
+        #: optional MetricRegistry attached by the runtime when observing
+        self.metrics = None
         self._window: Deque[float] = deque()
         self.hdtl = HDTL(
             graph,
@@ -118,10 +127,13 @@ class DepGraphEngine:
             addrs = (layout.states.addr(index), layout.deltas.addr(index))
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown fetch kind {kind!r}")
+        self.fetch_counts[kind] += 1
         for addr in addrs:
             latency = self.memsys.access(self.core, addr, now=self.time)
             self.time += ISSUE_CYCLES + latency / ENGINE_MLP
             self.ops += 1
+            if self.metrics is not None:
+                self.metrics.observe("engine.fetch_latency", latency)
 
     def edge_ready_time(self) -> float:
         """When the entry most recently pushed to the FIFO becomes poppable."""
@@ -150,6 +162,17 @@ class DepGraphEngine:
             self.core, self.layout.hub_index_addr(len(self._window) + self.ops), write=True
         )
         self.ops += 2  # solve + store
+
+    def stats_dict(self) -> dict:
+        """Counter snapshot for the observability layer (metrics.json)."""
+        out = {
+            "ops": self.ops,
+            "stall_cycles": self.stall_cycles,
+            "time": self.time,
+        }
+        for kind, count in self.fetch_counts.items():
+            out[f"fetch_{kind}"] = count
+        return out
 
     def charge_queue_op(self, write: bool = False) -> None:
         self.time += self.memsys.access(

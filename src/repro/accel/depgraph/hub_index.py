@@ -65,6 +65,8 @@ class HubIndex:
         self.lookups = 0
         self.shortcut_hits = 0
         self.inserts = 0
+        #: head probes that served no usable shortcut (observability)
+        self.empty_lookups = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -139,11 +141,33 @@ class HubIndex:
         self.lookups += 1
         keys = self._by_head.get(head)
         if not keys:
+            self.empty_lookups += 1
             return []
         found = [self._entries[k] for k in keys]
         usable = [e for e in found if e.usable]
         self.shortcut_hits += len(usable)
+        if not usable:
+            self.empty_lookups += 1
         return usable
 
     def head_entry_count(self, head: int) -> int:
         return len(self._by_head.get(head, ()))
+
+    # ------------------------------------------------------------------
+    def stats_dict(self) -> dict:
+        """Counter snapshot for the observability layer (metrics.json).
+
+        ``empty_lookups`` counts head probes that served no usable
+        shortcut — the "which hub-index lookup missed" question a flat
+        hit count cannot answer."""
+        usable = sum(1 for e in self._entries.values() if e.usable)
+        return {
+            "entries": len(self._entries),
+            "usable_entries": usable,
+            "lookups": self.lookups,
+            "shortcut_hits": self.shortcut_hits,
+            "empty_lookups": self.empty_lookups,
+            "inserts": self.inserts,
+            "memory_bytes": self.memory_bytes,
+            "heads": len(self._by_head),
+        }

@@ -186,6 +186,15 @@ class Cache:
         total = self.accesses
         return self.hits / total if total else 0.0
 
+    def stats_dict(self) -> dict:
+        """Counter snapshot for the observability layer (metrics.json)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+            "hit_rate": self.hit_rate(),
+        }
+
     def reset_stats(self) -> None:
         self.hits = self.misses = self.writebacks = 0
 

@@ -37,6 +37,10 @@ class DRAMModel:
         self._next_free: List[float] = [0.0] * channels
         self.requests = 0
         self.queueing_cycles = 0.0
+        #: worst single-request queueing delay (peak channel congestion)
+        self.max_queue_delay = 0.0
+        #: requests that found their channel busy (occupancy proxy)
+        self.queued_requests = 0
 
     def channel_of(self, line: int) -> int:
         return (line ^ (line >> 5)) % self.channels
@@ -49,12 +53,28 @@ class DRAMModel:
         self._next_free[channel] = start + self.service_cycles
         self.requests += 1
         self.queueing_cycles += queue_delay
+        if queue_delay > 0.0:
+            self.queued_requests += 1
+            if queue_delay > self.max_queue_delay:
+                self.max_queue_delay = queue_delay
         return self.base_latency + queue_delay
 
     def average_queueing(self) -> float:
         return self.queueing_cycles / self.requests if self.requests else 0.0
 
+    def stats_dict(self) -> dict:
+        """Counter snapshot for the observability layer (metrics.json)."""
+        return {
+            "requests": self.requests,
+            "queued_requests": self.queued_requests,
+            "queueing_cycles": self.queueing_cycles,
+            "avg_queue_delay": self.average_queueing(),
+            "max_queue_delay": self.max_queue_delay,
+        }
+
     def reset(self) -> None:
         self._next_free = [0.0] * self.channels
         self.requests = 0
         self.queueing_cycles = 0.0
+        self.max_queue_delay = 0.0
+        self.queued_requests = 0

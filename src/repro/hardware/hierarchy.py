@@ -15,7 +15,7 @@ from typing import Dict, List, Optional
 from .cache import Cache
 from .config import HardwareConfig
 from .dram import DRAMModel
-from .noc import MeshNoC
+from .noc import MeshNoC, NoCTraffic
 
 
 class AccessStats:
@@ -86,6 +86,12 @@ class MemorySystem:
             [self.noc.hops(core, bank) for bank in range(config.l3_banks)]
             for core in range(config.num_cores)
         ]
+        # Observability (off by default): when a MetricRegistry is attached,
+        # the cold sections of access() additionally record NoC hop
+        # distances and DRAM queueing samples.  The hot path pays a single
+        # attribute check when disabled.
+        self._metrics = None
+        self.noc_traffic: Optional[NoCTraffic] = None
 
     # ------------------------------------------------------------------
     def line_of(self, addr: int) -> int:
@@ -117,6 +123,8 @@ class MemorySystem:
         hops = self._hops[core][bank]
         stats.noc_hop_count += 2 * hops
         cycles += 2 * hops * self._hop_cycles + self._l3_lat
+        if self.noc_traffic is not None:
+            self.noc_traffic.record(core, hops)
         l3_bank = self.l3[bank]
         index = line & (l3_bank.num_sets - 1)
         hit = l3_bank.access(line, write)
@@ -126,7 +134,12 @@ class MemorySystem:
             return cycles
         stats.dram_accesses += 1
         if self.dram is not None:
-            return cycles + self.dram.access(line, now + cycles)
+            latency = self.dram.access(line, now + cycles)
+            if self._metrics is not None:
+                self._metrics.observe(
+                    "dram.queue_delay", latency - self.dram.base_latency
+                )
+            return cycles + latency
         return cycles + self._dram_lat
 
     def access_range(self, core: int, addr: int, nbytes: int, write: bool = False) -> int:
@@ -157,6 +170,40 @@ class MemorySystem:
         end_line = (end_addr + self.config.line_bytes - 1) >> self._line_shift
         for bank in self.l3:
             bank.add_hot_range(begin_line, end_line)
+
+    def attach_observer(self, metrics) -> None:
+        """Enable per-access observation (NoC hop recording, DRAM queueing
+        samples) feeding ``metrics``.  Leaves the hot path untouched when
+        never called."""
+        self._metrics = metrics
+        if self.noc_traffic is None:
+            self.noc_traffic = NoCTraffic(self.noc.width * self.noc.height)
+
+    def flush_metrics(self, metrics) -> None:
+        """Fold the hierarchy's counters into a MetricRegistry.
+
+        Safe to call on any run (the counters below are maintained
+        unconditionally); the NoC/DRAM sampling extras appear only when
+        :meth:`attach_observer` enabled them.
+        """
+        levels = (("l1", self.l1), ("l2", self.l2), ("l3", self.l3))
+        for name, caches in levels:
+            hits = sum(c.hits for c in caches)
+            misses = sum(c.misses for c in caches)
+            writebacks = sum(c.writebacks for c in caches)
+            metrics.set(f"cache.{name}.hits", hits)
+            metrics.set(f"cache.{name}.misses", misses)
+            metrics.set(f"cache.{name}.writebacks", writebacks)
+            total = hits + misses
+            metrics.set(f"cache.{name}.hit_rate", hits / total if total else 0.0)
+        metrics.set("noc.hop_count", self.stats.noc_hop_count)
+        metrics.set("dram.accesses", self.stats.dram_accesses)
+        if self.noc_traffic is not None:
+            for key, value in self.noc_traffic.stats_dict().items():
+                metrics.set(f"noc.{key}", float(value))
+        if self.dram is not None:
+            for key, value in self.dram.stats_dict().items():
+                metrics.set(f"dram.{key}", float(value))
 
     def cache_stats(self) -> Dict[str, float]:
         l1_acc = sum(c.accesses for c in self.l1)

@@ -44,3 +44,46 @@ class MeshNoC:
             self.hops(a, b) for a in range(nodes) for b in range(nodes)
         )
         return 2 * self.hop_cycles * total / (nodes * nodes)
+
+
+class NoCTraffic:
+    """Opt-in per-transaction traffic recorder for the observability layer.
+
+    The hierarchy attaches one of these only when a run is observed; it
+    histograms hop distances (how far L3 traffic really travels, vs the
+    mesh's uniform-random average) and tallies per-source-node transaction
+    counts so hot tiles stand out in ``metrics.json``.
+    """
+
+    __slots__ = ("transactions", "total_hops", "hop_histogram", "per_source")
+
+    def __init__(self, nodes: int) -> None:
+        self.transactions = 0
+        self.total_hops = 0
+        #: hop distance -> transaction count
+        self.hop_histogram: dict = {}
+        self.per_source = [0] * nodes
+
+    def record(self, src: int, hops: int) -> None:
+        self.transactions += 1
+        self.total_hops += hops
+        self.hop_histogram[hops] = self.hop_histogram.get(hops, 0) + 1
+        self.per_source[src] += 1
+
+    def stats_dict(self) -> dict:
+        """Counter snapshot for the observability layer (metrics.json)."""
+        out = {
+            "transactions": self.transactions,
+            "total_hops": self.total_hops,
+            "avg_hops": (
+                self.total_hops / self.transactions if self.transactions else 0.0
+            ),
+            "busiest_source": (
+                max(range(len(self.per_source)), key=self.per_source.__getitem__)
+                if self.transactions
+                else -1
+            ),
+        }
+        for hops in sorted(self.hop_histogram):
+            out[f"hops_{hops}"] = self.hop_histogram[hops]
+        return out

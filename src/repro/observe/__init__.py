@@ -1,0 +1,59 @@
+"""Observability: structured event tracing and per-subsystem metrics.
+
+The simulator's figures are all *aggregates*; this package records the
+*timeline* and the *per-subsystem counters* behind them so a perf change
+can be located, not just totaled:
+
+* :class:`Tracer` — ring-buffered span/instant/counter events on the
+  simulated-cycle timeline, exported as Chrome ``trace_event`` JSON
+  (loads in Perfetto / ``chrome://tracing``).  Off by default via the
+  :class:`NullTracer` null object, so instrumented hot loops pay ~one
+  attribute check (``if tracer.enabled:``).
+* :class:`MetricRegistry` — lazily-created counters and power-of-two
+  histograms (cache hits by level, NoC hops, DRAM queueing, DDMU
+  resolution counts, per-round activity), flattened into
+  ``ExecutionResult.extra`` under the ``obs.`` prefix and into
+  ``metrics.json``.
+
+Run one traced experiment from the CLI::
+
+    python -m repro trace pagerank GL --scale 0.1 --cores 8
+
+See ``docs/OBSERVABILITY.md`` for the profiling workflow and the counter
+glossary.
+"""
+
+from .export import (
+    flame_summary,
+    span_totals,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from .metrics import Histogram, MetricRegistry
+from .tracer import (
+    DEFAULT_CAPACITY,
+    NULL_TRACER,
+    SCHEDULER_TRACK,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "NULL_TRACER",
+    "SCHEDULER_TRACK",
+    "Histogram",
+    "MetricRegistry",
+    "NullTracer",
+    "Tracer",
+    "flame_summary",
+    "get_tracer",
+    "set_tracer",
+    "span_totals",
+    "to_chrome_trace",
+    "tracing",
+    "write_chrome_trace",
+]

@@ -1,0 +1,111 @@
+"""Trace export: Chrome ``trace_event`` JSON and the text flame summary.
+
+The Chrome trace format is the least-common-denominator timeline format:
+the emitted file loads directly in Perfetto (https://ui.perfetto.dev) and
+in ``chrome://tracing``.  One simulated cycle is exported as one
+microsecond, so Perfetto's time axis reads directly in cycles (ignore the
+"us" unit).  Track names are attached via thread_name metadata events.
+
+``flame_summary`` renders an aggregated where-did-cycles-go table from
+the recorded spans — the quick textual answer when a full timeline is
+more than the question needs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .tracer import Tracer
+
+#: exported pid for all simulator tracks (one simulated machine)
+TRACE_PID = 1
+
+
+def to_chrome_trace(tracer: Tracer, **other_data) -> dict:
+    """Convert recorded events into a Chrome ``trace_event`` object."""
+    events: List[dict] = []
+    for track, name in sorted(tracer.track_names.items()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": TRACE_PID,
+                "tid": track,
+                "args": {"name": name},
+            }
+        )
+    for phase, name, cat, ts, dur, track, args in tracer.events():
+        event = {
+            "ph": phase,
+            "name": name,
+            "cat": cat,
+            "ts": ts,
+            "pid": TRACE_PID,
+            "tid": track,
+        }
+        if phase == "X":
+            event["dur"] = dur
+        if phase == "i":
+            event["s"] = "t"  # thread-scoped instant
+        if args:
+            event["args"] = args
+        events.append(event)
+    meta = {"droppedEvents": tracer.dropped, "timeUnit": "simulated cycles"}
+    meta.update(other_data)
+    return {"traceEvents": events, "displayTimeUnit": "ms", "otherData": meta}
+
+
+def write_chrome_trace(tracer: Tracer, path, **other_data) -> None:
+    """Write the Perfetto-loadable trace JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(tracer, **other_data), fh)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+def span_totals(tracer: Tracer) -> Dict[str, Dict[str, float]]:
+    """Aggregate spans by name -> {count, cycles, max}."""
+    totals: Dict[str, Dict[str, float]] = {}
+    for phase, name, _cat, _ts, dur, _track, _args in tracer.events():
+        if phase != "X":
+            continue
+        row = totals.get(name)
+        if row is None:
+            row = totals[name] = {"count": 0.0, "cycles": 0.0, "max": 0.0}
+        row["count"] += 1
+        row["cycles"] += dur
+        if dur > row["max"]:
+            row["max"] = dur
+    return totals
+
+
+def flame_summary(tracer: Tracer, top: int = 20) -> str:
+    """A text table of span totals, widest first.
+
+    Percentages are relative to the total recorded span cycles; span
+    names nest (a ``root`` span contains its chain's memory charges), so
+    the column answers "which activity dominated the timeline", not a
+    disjoint partition of the makespan.
+    """
+    totals = span_totals(tracer)
+    if not totals:
+        return "(no spans recorded)"
+    grand = sum(row["cycles"] for row in totals.values()) or 1.0
+    lines = [
+        f"{'span':<24} {'count':>10} {'cycles':>14} {'avg':>10} "
+        f"{'max':>10} {'share':>7}"
+    ]
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1]["cycles"])
+    for name, row in ranked[:top]:
+        avg = row["cycles"] / row["count"] if row["count"] else 0.0
+        lines.append(
+            f"{name:<24} {int(row['count']):>10d} {row['cycles']:>14.0f} "
+            f"{avg:>10.1f} {row['max']:>10.0f} "
+            f"{100.0 * row['cycles'] / grand:>6.1f}%"
+        )
+    if len(ranked) > top:
+        lines.append(f"... {len(ranked) - top} more span names")
+    if tracer.dropped:
+        lines.append(f"(ring buffer dropped {tracer.dropped} oldest events)")
+    return "\n".join(lines)

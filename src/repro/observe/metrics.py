@@ -1,0 +1,131 @@
+"""Per-subsystem metric registries.
+
+A :class:`MetricRegistry` aggregates the counters the paper's evaluation
+reads off the machine: cache hits/misses by level, NoC hop counts, DRAM
+queue occupancy, DDMU dependency-resolution counts, per-round
+active-vertex histograms.  Counters are monotonic sums; histograms keep
+count/sum/min/max plus power-of-two buckets (enough for "how skewed were
+the rounds" without per-sample storage).
+
+The registry flattens to ``Dict[str, float]`` so it can be merged into
+``ExecutionResult.extra`` (the figures' key-value sidecar) and dumped as
+``metrics.json``.  Registration is lazy — ``inc``/``observe`` create the
+metric on first touch — so subsystems never need a schema handshake.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+
+class Histogram:
+    """Streaming histogram: count/sum/min/max + log2 buckets.
+
+    ``record(v)`` files ``v`` under bucket ``ceil(log2(v))`` (values
+    <= 0 land in bucket 0), which resolves "mostly tiny rounds with a
+    few huge ones" — the shape behind Figure 4(c) — in O(1) memory.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._buckets: Dict[int, int] = {}
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = 0 if value <= 1 else int(value - 1).bit_length()
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> Dict[int, int]:
+        """bucket exponent -> count; bucket ``k`` holds (2^(k-1), 2^k]."""
+        return dict(self._buckets)
+
+    def as_dict(self, name: str) -> Dict[str, float]:
+        out = {
+            f"{name}.count": float(self.count),
+            f"{name}.sum": float(self.total),
+            f"{name}.mean": self.mean,
+            f"{name}.min": float(self.min) if self.min is not None else 0.0,
+            f"{name}.max": float(self.max) if self.max is not None else 0.0,
+        }
+        for bucket in sorted(self._buckets):
+            out[f"{name}.le_pow2_{bucket}"] = float(self._buckets[bucket])
+        return out
+
+
+class MetricRegistry:
+    """Lazily-created named counters and histograms, flattened on demand."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, n: float = 1.0) -> None:
+        """Add ``n`` to counter ``name`` (created at 0 on first touch)."""
+        self._counters[name] = self._counters.get(name, 0.0) + n
+
+    def set(self, name: str, value: float) -> None:
+        """Overwrite counter ``name`` (for end-of-run gauge flushes)."""
+        self._counters[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """File one sample into histogram ``name``."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        hist.record(value)
+
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self._histograms.get(name)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._histograms)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    # ------------------------------------------------------------------
+    def as_dict(self, prefix: str = "") -> Dict[str, float]:
+        """Flatten every metric to ``{prefix + name: float}``."""
+        out: Dict[str, float] = {}
+        for name in sorted(self._counters):
+            out[prefix + name] = float(self._counters[name])
+        for name in sorted(self._histograms):
+            out.update(
+                {
+                    prefix + key: value
+                    for key, value in self._histograms[name].as_dict(name).items()
+                }
+            )
+        return out
+
+    def merge_into(self, extra: Dict[str, float], prefix: str = "obs.") -> None:
+        """Flush the registry into an ``ExecutionResult.extra`` mapping."""
+        extra.update(self.as_dict(prefix))
+
+    def write_json(self, path, indent: int = 2, **header) -> None:
+        """Dump ``{**header, "metrics": {...}}`` as ``metrics.json``."""
+        payload = dict(header)
+        payload["metrics"] = self.as_dict()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=indent, sort_keys=True)
+            fh.write("\n")

@@ -1,0 +1,201 @@
+"""Structured event tracing on the simulated-cycle timeline.
+
+A :class:`Tracer` records *where simulated cycles go*: spans (a named
+interval on one track), instants (a point event), and counter samples
+(a named time series).  Timestamps are **simulated cycles**, not wall
+time — the trace is a picture of the machine the simulator models, so a
+stalled core or a spiky round is visible exactly where the cycle
+accounting put it.  Track 0 is the scheduler/global timeline; track
+``core + 1`` is simulated core ``core``.
+
+Tracing is off by default and costs hot loops ~one attribute check: the
+runtimes hold a :class:`NullTracer` (``enabled`` is ``False``) unless a
+real tracer is passed in, and every call site is gated with
+``if tracer.enabled:``.  Events live in a bounded ring buffer so a
+runaway run degrades to "oldest events dropped" instead of unbounded
+memory; the drop count is reported in the export.
+
+Export to Chrome ``trace_event`` JSON (Perfetto / ``chrome://tracing``)
+lives in :mod:`repro.observe.export`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, Optional, Tuple
+
+#: default ring-buffer capacity, in events
+DEFAULT_CAPACITY = 262_144
+
+#: track id of the scheduler/global timeline (cores are track ``core + 1``)
+SCHEDULER_TRACK = 0
+
+#: event tuples are (phase, name, category, ts, dur, track, args)
+Event = Tuple[str, str, str, float, float, int, Optional[dict]]
+
+
+class NullTracer:
+    """The disabled tracer: every method is a no-op.
+
+    Hot loops check ``tracer.enabled`` once and skip event construction
+    entirely, so a run without tracing pays only that attribute check.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        track: int = SCHEDULER_TRACK,
+        cat: str = "sim",
+        args: Optional[dict] = None,
+    ) -> None:
+        pass
+
+    def instant(
+        self,
+        name: str,
+        ts: float,
+        track: int = SCHEDULER_TRACK,
+        cat: str = "sim",
+        args: Optional[dict] = None,
+    ) -> None:
+        pass
+
+    def counter(self, name: str, ts: float, values: Dict[str, float]) -> None:
+        pass
+
+    def name_track(self, track: int, name: str) -> None:
+        pass
+
+    def events(self) -> Iterable[Event]:
+        return ()
+
+
+#: the shared do-nothing tracer; hot paths compare against ``.enabled``
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Ring-buffered structured event recorder.
+
+    ``span`` records a completed interval (both endpoints are known when
+    the simulator emits it — simulated time only moves via the cycle
+    accounting, so there is no need for begin/end pairing).  ``instant``
+    records a point event; ``counter`` records a sample of one or more
+    named series, rendered as the counter tracks in Perfetto.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: Deque[Event] = deque(maxlen=capacity)
+        self._track_names: Dict[int, str] = {}
+        #: events evicted from the ring buffer (oldest-first)
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def _push(self, event: Event) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def span(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        track: int = SCHEDULER_TRACK,
+        cat: str = "sim",
+        args: Optional[dict] = None,
+    ) -> None:
+        """One completed interval ``[ts, ts + dur)`` in simulated cycles."""
+        self._push(("X", name, cat, ts, max(0.0, dur), track, args))
+
+    def instant(
+        self,
+        name: str,
+        ts: float,
+        track: int = SCHEDULER_TRACK,
+        cat: str = "sim",
+        args: Optional[dict] = None,
+    ) -> None:
+        """A point event at simulated cycle ``ts``."""
+        self._push(("i", name, cat, ts, 0.0, track, args))
+
+    def counter(self, name: str, ts: float, values: Dict[str, float]) -> None:
+        """A sample of the counter series ``name`` at simulated cycle
+        ``ts``; ``values`` maps series label -> value."""
+        self._push(("C", name, "counter", ts, 0.0, SCHEDULER_TRACK, dict(values)))
+
+    # ------------------------------------------------------------------
+    def name_track(self, track: int, name: str) -> None:
+        """Give a track a human-readable name in the exported timeline."""
+        self._track_names[track] = name
+
+    @property
+    def track_names(self) -> Dict[int, str]:
+        return dict(self._track_names)
+
+    def events(self) -> Iterable[Event]:
+        """The recorded events, oldest first."""
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+
+# ----------------------------------------------------------------------
+# Process-wide default tracer.
+#
+# Explicitly passing a tracer down through ``runtime.run(...)`` is the
+# primary route; the module-level default exists so that deeply nested
+# construction sites (every runtime builds its own SimContext) share one
+# switch without threading the handle through every constructor in user
+# code.  ``tracing()`` installs a tracer for a ``with`` block.
+# ----------------------------------------------------------------------
+_current_tracer: NullTracer | Tracer = NULL_TRACER
+
+
+def get_tracer():
+    """The process-wide default tracer (``NULL_TRACER`` unless set)."""
+    return _current_tracer
+
+
+def set_tracer(tracer) -> None:
+    """Install ``tracer`` (or ``None`` to reset) as the process default."""
+    global _current_tracer
+    _current_tracer = NULL_TRACER if tracer is None else tracer
+
+
+class tracing:
+    """Context manager: install a tracer for the duration of a block.
+
+    >>> tr = Tracer()
+    >>> with tracing(tr):
+    ...     result = runtime.run("depgraph-h", graph, algo, hw)
+    """
+
+    def __init__(self, tracer) -> None:
+        self.tracer = tracer
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = get_tracer()
+        set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc) -> bool:
+        set_tracer(self._previous)
+        return False

@@ -22,6 +22,7 @@ from ..graph.partition import Partitioning, by_edge_count
 from ..hardware.config import HardwareConfig
 from ..hardware.hierarchy import MemorySystem
 from ..hardware.layout import MemoryLayout
+from ..observe import MetricRegistry, get_tracer
 from .stats import ExecutionResult, RoundLog
 
 #: cycles to cross a barrier at round end (sync flag + fence)
@@ -45,6 +46,7 @@ class SimContext:
         hardware: HardwareConfig,
         system: str,
         simd: bool = True,
+        tracer=None,
     ) -> None:
         if getattr(algorithm, "needs_symmetric", False):
             graph = symmetrize(graph)
@@ -62,6 +64,16 @@ class SimContext:
         self.num_cores = hardware.num_cores
         self.fast = hardware.fidelity == "fast"
         self.memsys = MemorySystem(hardware)
+        # Observability: the tracer defaults to the process-wide one (a
+        # NullTracer unless `repro.observe.tracing` is active), so hot
+        # loops gate on `self.tracer.enabled` — one attribute check.
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.metrics = MetricRegistry()
+        if self.tracer.enabled:
+            self.memsys.attach_observer(self.metrics)
+            self.tracer.name_track(0, f"scheduler [{system}]")
+            for core in range(hardware.num_cores):
+                self.tracer.name_track(core + 1, f"core {core}")
         self.layout = MemoryLayout(graph, hardware.num_cores)
         self.partitioning: Partitioning = by_edge_count(graph, hardware.num_cores)
         self._owner = [
@@ -246,15 +258,54 @@ class SimContext:
         cost = BARRIER_CYCLES + BARRIER_PER_LOG_CORE * max(
             1, int(math.log2(max(2, self.num_cores)))
         )
+        if self.tracer.enabled:
+            self.tracer.span("barrier", peak, cost, cat="sync")
         for core in range(self.num_cores):
             self.clock[core] = peak + cost
             self.overhead[core] += cost
 
     # ------------------------------------------------------------------
+    # Observability helpers.
+    # ------------------------------------------------------------------
+    def note_round(
+        self, round_index: int, active: int, updates: int, start_peak: float
+    ) -> None:
+        """Record one round's activity: per-round histograms (always on —
+        one histogram sample per round) plus, when tracing, a round span
+        on the scheduler track and an activity counter series."""
+        end_peak = max(self.clock)
+        metrics = self.metrics
+        metrics.observe("round.active_vertices", active)
+        metrics.observe("round.updates", updates)
+        metrics.observe("round.makespan_cycles", end_peak - start_peak)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.span(
+                "round",
+                start_peak,
+                end_peak - start_peak,
+                cat="round",
+                args={
+                    "round": round_index,
+                    "active": active,
+                    "updates": updates,
+                },
+            )
+            tracer.counter(
+                "activity",
+                end_peak,
+                {"active_vertices": float(active), "updates": float(updates)},
+            )
+
+    # ------------------------------------------------------------------
     def result(self, converged: bool) -> ExecutionResult:
         import numpy as np
 
-        return ExecutionResult(
+        self.memsys.flush_metrics(self.metrics)
+        self.metrics.set("sim.updates", self.updates)
+        self.metrics.set("sim.edge_ops", self.edge_ops)
+        self.metrics.set("sim.rounds", self.rounds)
+        result = ExecutionResult(
             system=self.system,
             algorithm=self.algorithm.name,
             states=np.asarray(self.states, dtype=np.float64),
@@ -278,3 +329,7 @@ class SimContext:
             round_log=self.round_log,
             shortcut_applications=self.shortcut_applications,
         )
+        # Flush the metric registry into the figures' key-value sidecar so
+        # traced and untraced runs alike carry their counters.
+        self.metrics.merge_into(result.extra)
+        return result

@@ -93,10 +93,13 @@ class _DepGraphExecution:
         options: DepGraphOptions,
         system: str,
         max_rounds: int,
+        tracer=None,
     ) -> None:
         self.options = options
         self.max_rounds = max_rounds
-        self.ctx = SimContext(graph, algorithm, hardware, system, options.simd)
+        self.ctx = SimContext(
+            graph, algorithm, hardware, system, options.simd, tracer=tracer
+        )
         ctx = self.ctx
         cores = ctx.num_cores
 
@@ -169,6 +172,9 @@ class _DepGraphExecution:
                 )
                 for core in range(cores)
             ]
+            if ctx.tracer.enabled:
+                for engine in self.engines:
+                    engine.metrics = ctx.metrics
             self.walkers = [engine.hdtl for engine in self.engines]
         else:
             self.engines = None
@@ -275,6 +281,9 @@ class _DepGraphExecution:
             self._run_round()
             if self.options.ddmu_mode == "learned":
                 self._observe_learning_entries()
+            ctx.note_round(
+                round_index, active, ctx.updates - updates_before, start_peak
+            )
             ctx.barrier()
             ctx.round_log.append(
                 RoundLog(
@@ -288,6 +297,7 @@ class _DepGraphExecution:
             converged = False
         if self.engines is not None:
             ctx.engine_ops += sum(engine.ops for engine in self.engines)
+        self._flush_metrics()
         result = ctx.result(converged)
         result.hub_index_entries = len(self.hub_index)
         result.hub_index_bytes = self.hub_index.memory_bytes
@@ -300,6 +310,26 @@ class _DepGraphExecution:
                 sum(engine.stall_cycles for engine in self.engines)
             )
         return result
+
+    def _flush_metrics(self) -> None:
+        """Fold the accelerator-side counters (DDMU, hub index, engines)
+        into the context's metric registry before the final flush."""
+        metrics = self.ctx.metrics
+        for key, value in self.ddmu.stats_dict().items():
+            metrics.set(f"ddmu.{key}", float(value))
+        for key, value in self.hub_index.stats_dict().items():
+            metrics.set(f"hub_index.{key}", float(value))
+        metrics.set(
+            "depgraph.shortcut_applications",
+            float(self.ctx.shortcut_applications),
+        )
+        if self.engines is not None:
+            totals: Dict[str, float] = {}
+            for engine in self.engines:
+                for key, value in engine.stats_dict().items():
+                    totals[key] = totals.get(key, 0.0) + float(value)
+            for key, value in totals.items():
+                metrics.set(f"engine.{key}", value)
 
     # ------------------------------------------------------------------
     # Scheduling: cores drain their partitions' queues; idle cores steal
@@ -386,9 +416,37 @@ class _DepGraphExecution:
         self.core_parts[thief].append(part)
         self.part_owner[part] = thief
         ctx.charge_overhead(thief, STEAL_CYCLES)
+        if ctx.tracer.enabled:
+            ctx.tracer.instant(
+                "steal",
+                ctx.clock[thief],
+                track=thief + 1,
+                cat="sched",
+                args={"partition": part, "victim": busiest},
+            )
 
     # ------------------------------------------------------------------
     def _handle_root(self, core: int, root: int) -> None:
+        tracer = self.ctx.tracer
+        if not tracer.enabled:
+            self._handle_root_inner(core, root)
+            return
+        t0 = self.ctx.clock[core]
+        shortcuts_before = self.ctx.shortcut_applications
+        self._handle_root_inner(core, root)
+        tracer.span(
+            "root",
+            t0,
+            self.ctx.clock[core] - t0,
+            track=core + 1,
+            cat="chain",
+            args={
+                "vertex": root,
+                "shortcuts": self.ctx.shortcut_applications - shortcuts_before,
+            },
+        )
+
+    def _handle_root_inner(self, core: int, root: int) -> None:
         ctx = self.ctx
         layout = ctx.layout
         timing = ctx.timing
@@ -461,6 +519,14 @@ class _DepGraphExecution:
             ctx.charge_rmw(core, layout.deltas.addr(tail))
             ctx.charge_compute(core, timing.edge_op)
             ctx.shortcut_applications += 1
+            if ctx.tracer.enabled:
+                ctx.tracer.instant(
+                    "shortcut",
+                    ctx.clock[core],
+                    track=core + 1,
+                    cat="hub",
+                    args={"head": root, "tail": tail},
+                )
             if self.ddmu.needs_reset_edge:
                 self._expected_resets[entry.key] = influence
             self._enqueue_active(core, tail)
@@ -651,10 +717,11 @@ def run_depgraph(
     options: DepGraphOptions = DepGraphOptions(),
     system: str = "depgraph-h",
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    tracer=None,
 ) -> ExecutionResult:
     """Run one dependency-driven execution."""
     return _DepGraphExecution(
-        graph, algorithm, hardware, options, system, max_rounds
+        graph, algorithm, hardware, options, system, max_rounds, tracer=tracer
     ).run()
 
 
@@ -663,6 +730,7 @@ def run_sequential(
     algorithm: Algorithm,
     hardware: Optional[HardwareConfig] = None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    tracer=None,
 ) -> ExecutionResult:
     """The single-thread asynchronous DFS baseline (u_s measurement)."""
     hw = (hardware or HardwareConfig.scaled()).with_cores(1)
@@ -673,4 +741,5 @@ def run_sequential(
         SEQUENTIAL_OPTIONS,
         system="sequential",
         max_rounds=max_rounds,
+        tracer=tracer,
     )

@@ -40,8 +40,11 @@ class _MinnowExecution:
         graph: CSRGraph,
         algorithm: Algorithm,
         hardware: HardwareConfig,
+        tracer=None,
     ) -> None:
-        self.ctx = SimContext(graph, algorithm, hardware, "minnow", simd=True)
+        self.ctx = SimContext(
+            graph, algorithm, hardware, "minnow", simd=True, tracer=tracer
+        )
         ctx = self.ctx
         self.worklists: List[MinnowWorklist] = [
             MinnowWorklist(core) for core in range(ctx.num_cores)
@@ -111,9 +114,22 @@ class _MinnowExecution:
             if since_flush[core] >= FLUSH_INTERVAL:
                 ctx.flush_staged(core, activate)
                 since_flush[core] = 0
+                if ctx.tracer.enabled:
+                    ctx.tracer.counter(
+                        "worklist_backlog",
+                        ctx.clock[core],
+                        {"entries": float(sum(len(w) for w in self.worklists))},
+                    )
         ctx.rounds = 1
         ctx.engine_ops += sum(engine.ops for engine in self.prefetchers)
         ctx.engine_ops += sum(w.pushes + w.pops for w in self.worklists)
+        metrics = ctx.metrics
+        metrics.set("worklist.pushes", float(sum(w.pushes for w in self.worklists)))
+        metrics.set("worklist.pops", float(sum(w.pops for w in self.worklists)))
+        metrics.set(
+            "worklist.stale_pops",
+            float(sum(w.stale_pops for w in self.worklists)),
+        )
         result = ctx.result(converged)
         result.round_log.append(RoundLog(0, pops, ctx.updates, result.cycles))
         return result
@@ -131,6 +147,22 @@ class _MinnowExecution:
         engine.note_consumed(ctx.clock[core])
 
     def _process(self, core: int, vertex: int) -> None:
+        tracer = self.ctx.tracer
+        if not tracer.enabled:
+            self._process_inner(core, vertex)
+            return
+        t0 = self.ctx.clock[core]
+        self._process_inner(core, vertex)
+        tracer.span(
+            "pop",
+            t0,
+            self.ctx.clock[core] - t0,
+            track=core + 1,
+            cat="worklist",
+            args={"vertex": vertex},
+        )
+
+    def _process_inner(self, core: int, vertex: int) -> None:
         ctx = self.ctx
         algorithm = ctx.algorithm
         layout = ctx.layout
@@ -190,6 +222,7 @@ def run_minnow(
     algorithm: Algorithm,
     hardware: HardwareConfig,
     max_pops: Optional[int] = None,
+    tracer=None,
 ) -> ExecutionResult:
     """Execute under the Minnow priority-worklist model."""
-    return _MinnowExecution(graph, algorithm, hardware).run(max_pops)
+    return _MinnowExecution(graph, algorithm, hardware, tracer=tracer).run(max_pops)

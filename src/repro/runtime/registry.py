@@ -62,38 +62,67 @@ def run(
     algorithm: Algorithm,
     hardware: Optional[HardwareConfig] = None,
     max_rounds: int = 4000,
+    tracer=None,
     **options,
 ) -> ExecutionResult:
     """Run ``algorithm`` over ``graph`` under the named system.
 
     ``options`` are forwarded to :class:`DepGraphOptions` for the DepGraph
     variants (e.g. ``lam=0.01, stack_depth=20, ddmu_mode="learned"``) and
-    ignored elsewhere.
+    ignored elsewhere.  ``tracer`` (a :class:`repro.observe.Tracer`)
+    enables structured event tracing for this run; the default is the
+    process-wide tracer, a no-op unless ``repro.observe.tracing`` is
+    active.
     """
     hw = hardware or HardwareConfig.scaled()
     if system == "sequential":
-        return run_sequential(graph, algorithm, hw, max_rounds=max_rounds)
+        return run_sequential(
+            graph, algorithm, hw, max_rounds=max_rounds, tracer=tracer
+        )
     if system in POLICIES:
         return run_roundbased(
-            graph, algorithm, hw, POLICIES[system], max_rounds=max_rounds
+            graph,
+            algorithm,
+            hw,
+            POLICIES[system],
+            max_rounds=max_rounds,
+            tracer=tracer,
         )
     if system == "minnow":
-        return run_minnow(graph, algorithm, hw)
+        return run_minnow(graph, algorithm, hw, tracer=tracer)
     if system == "depgraph-s":
         opts = DepGraphOptions(hardware=False, **options)
         return run_depgraph(
-            graph, algorithm, hw, opts, system=system, max_rounds=max_rounds
+            graph,
+            algorithm,
+            hw,
+            opts,
+            system=system,
+            max_rounds=max_rounds,
+            tracer=tracer,
         )
     if system == "depgraph-h":
         opts = DepGraphOptions(hardware=True, **options)
         return run_depgraph(
-            graph, algorithm, hw, opts, system=system, max_rounds=max_rounds
+            graph,
+            algorithm,
+            hw,
+            opts,
+            system=system,
+            max_rounds=max_rounds,
+            tracer=tracer,
         )
     if system == "depgraph-h-w":
         options.pop("hub_enabled", None)
         opts = DepGraphOptions(hardware=True, hub_enabled=False, **options)
         return run_depgraph(
-            graph, algorithm, hw, opts, system=system, max_rounds=max_rounds
+            graph,
+            algorithm,
+            hw,
+            opts,
+            system=system,
+            max_rounds=max_rounds,
+            tracer=tracer,
         )
     raise KeyError(f"unknown system {system!r}; known: {SYSTEM_NAMES}")
 

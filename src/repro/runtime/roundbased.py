@@ -95,9 +95,12 @@ class _RoundEngine:
         hardware: HardwareConfig,
         policy: RoundPolicy,
         max_rounds: int,
+        tracer=None,
     ) -> None:
         self.policy = policy
-        self.ctx = SimContext(graph, algorithm, hardware, policy.name, policy.simd)
+        self.ctx = SimContext(
+            graph, algorithm, hardware, policy.name, policy.simd, tracer=tracer
+        )
         self.max_rounds = max_rounds
         ctx = self.ctx
         n = ctx.graph.num_vertices
@@ -136,6 +139,9 @@ class _RoundEngine:
                 ctx.flush_staged(core, self._activate)
             if self.phi_buffers is not None:
                 self._flush_phi()
+            ctx.note_round(
+                round_index, len(frontier), ctx.updates - updates_before, start_peak
+            )
             ctx.barrier()
             ctx.round_log.append(
                 RoundLog(
@@ -216,6 +222,14 @@ class _RoundEngine:
         queues[thief] = stolen
         cursors[thief] = 0
         ctx.charge_overhead(thief, STEAL_CYCLES)
+        if ctx.tracer.enabled:
+            ctx.tracer.instant(
+                "steal",
+                ctx.clock[thief],
+                track=thief + 1,
+                cat="sched",
+                args={"victim": best, "taken": take},
+            )
         return True
 
     # ------------------------------------------------------------------
@@ -236,6 +250,22 @@ class _RoundEngine:
         ctx.engine_ops += 1
 
     def _process_vertex(self, core: int, vertex: int) -> None:
+        tracer = self.ctx.tracer
+        if not tracer.enabled:
+            self._process_vertex_inner(core, vertex)
+            return
+        t0 = self.ctx.clock[core]
+        self._process_vertex_inner(core, vertex)
+        tracer.span(
+            "vertex",
+            t0,
+            self.ctx.clock[core] - t0,
+            track=core + 1,
+            cat="frontier",
+            args={"vertex": vertex},
+        )
+
+    def _process_vertex_inner(self, core: int, vertex: int) -> None:
         ctx = self.ctx
         policy = self.policy
         algorithm = ctx.algorithm
@@ -328,6 +358,9 @@ def run_roundbased(
     hardware: HardwareConfig,
     policy: RoundPolicy,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    tracer=None,
 ) -> ExecutionResult:
     """Execute ``algorithm`` on ``graph`` under a round-based system."""
-    return _RoundEngine(graph, algorithm, hardware, policy, max_rounds).run()
+    return _RoundEngine(
+        graph, algorithm, hardware, policy, max_rounds, tracer=tracer
+    ).run()
