@@ -14,6 +14,7 @@ The :class:`WorkloadCache` is session-scoped so runs shared between figures
 once.
 """
 
+import json
 import os
 import pathlib
 
@@ -47,13 +48,40 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
+@pytest.fixture(scope="session")
+def _snapshotted_runs() -> set:
+    """Run labels already written to some figure's metrics.json; the cache
+    is session-scoped, so each run is attributed to the first figure that
+    paid for it."""
+    return set()
+
+
 @pytest.fixture
-def record_table(results_dir):
-    """Write a rendered table under results/ and echo it to the terminal."""
+def record_table(results_dir, config, cache, _snapshotted_runs):
+    """Write a rendered table under results/ and echo it to the terminal.
+
+    Beside every ``results/<id>.txt`` it also drops
+    ``results/<id>.metrics.json``: the ``obs.*`` counter snapshot of each
+    simulator run the figure executed, so regressions in cache hit rates,
+    steal counts, or NoC traffic show up in version control next to the
+    headline numbers.
+    """
 
     def _record(table) -> None:
         text = table.render()
         (results_dir / f"{table.experiment_id}.txt").write_text(text + "\n")
+        runs = cache.metrics_snapshot(exclude=_snapshotted_runs)
+        _snapshotted_runs.update(runs)
+        payload = {
+            "experiment": table.experiment_id,
+            "title": table.title,
+            "scale": config.scale,
+            "cores": config.cores,
+            "runs": runs,
+        }
+        (results_dir / f"{table.experiment_id}.metrics.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
         print()
         print(text)
 

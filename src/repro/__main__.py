@@ -36,6 +36,7 @@ EXPERIMENT_MODULES = {
     "table3": "table03_datasets",
     "table4": "table04_area",
     "preprocessing": "preprocessing",
+    "sched": "sched_compare",
 }
 
 
@@ -62,12 +63,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--scale", type=float, default=0.35)
     run_p.add_argument("--cores", type=int, default=64)
+    run_p.add_argument(
+        "--steal-policy", default="random", choices=runtime.STEAL_POLICIES
+    )
 
     cmp_p = sub.add_parser("compare", help="run every system on one workload")
     cmp_p.add_argument("--dataset", default="LJ", choices=datasets.DATASET_NAMES)
     cmp_p.add_argument("--algorithm", default="sssp")
     cmp_p.add_argument("--scale", type=float, default=0.35)
     cmp_p.add_argument("--cores", type=int, default=64)
+    cmp_p.add_argument(
+        "--steal-policy", default="random", choices=runtime.STEAL_POLICIES
+    )
 
     exp_p = sub.add_parser("experiment", help="regenerate a figure/table")
     exp_p.add_argument("name", choices=sorted(EXPERIMENT_MODULES))
@@ -89,6 +96,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace_p.add_argument("--scale", type=float, default=0.2)
     trace_p.add_argument("--cores", type=int, default=16)
+    trace_p.add_argument(
+        "--steal-policy", default="random", choices=runtime.STEAL_POLICIES
+    )
     trace_p.add_argument(
         "--out",
         default="results/trace",
@@ -120,12 +130,21 @@ def _run_trace(args) -> int:
     hardware = HardwareConfig.scaled(num_cores=args.cores)
     tracer = observe.Tracer(capacity=args.capacity)
     print(f"dataset {args.dataset}: {graph}")
-    result = runtime.run(args.system, graph, algorithm, hardware, tracer=tracer)
+    result = runtime.run(
+        args.system,
+        graph,
+        algorithm,
+        hardware,
+        tracer=tracer,
+        steal_policy=args.steal_policy,
+    )
     _print_result(result)
 
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     stem = f"{args.system}_{args.algorithm}_{args.dataset}"
+    if args.steal_policy != "random":
+        stem += f"_{args.steal_policy}"
     trace_path = out_dir / f"{stem}.trace.json"
     metrics_path = out_dir / f"{stem}.metrics.json"
     observe.write_chrome_trace(
@@ -190,13 +209,25 @@ def main(argv=None) -> int:
     hardware = HardwareConfig.scaled(num_cores=args.cores)
     print(f"dataset {args.dataset}: {graph}")
     if args.command == "run":
-        _print_result(runtime.run(args.system, graph, algorithm, hardware))
+        _print_result(
+            runtime.run(
+                args.system,
+                graph,
+                algorithm,
+                hardware,
+                steal_policy=args.steal_policy,
+            )
+        )
         return 0
     # compare
     base = None
     for system in runtime.SYSTEM_NAMES:
         result = runtime.run(
-            system, graph, algorithms.make(args.algorithm), hardware
+            system,
+            graph,
+            algorithms.make(args.algorithm),
+            hardware,
+            steal_policy=args.steal_policy,
         )
         if system == "ligra-o":
             base = result

@@ -66,6 +66,11 @@ class MinnowWorklist:
             return vertex
         return None
 
+    @property
+    def valid_entries(self) -> int:
+        """Entries that would actually pop (heap size minus stale ones)."""
+        return len(self._queued_priority)
+
     def peek_priority(self) -> Optional[float]:
         while self._heap:
             priority, _, vertex = self._heap[0]

@@ -132,6 +132,45 @@ class WorkloadCache:
             )
         return self._results[key]
 
+    @staticmethod
+    def _run_label(key: Tuple) -> str:
+        system, dataset, algorithm, cores, options = key
+        label = f"{system}/{dataset}/{algorithm}@{cores}"
+        if options:
+            label += "?" + ",".join(f"{k}={v}" for k, v in options)
+        return label
+
+    def metrics_snapshot(self, exclude: Iterable[str] = ()) -> Dict[str, Dict]:
+        """Per-run ``obs.*`` counter snapshots for every memoized result.
+
+        Keys are human-readable run labels
+        (``system/dataset/algorithm@cores``); ``exclude`` skips labels
+        already captured (so a session-scoped cache can attribute each
+        run to the first figure that paid for it).  The payload is
+        JSON-ready: plain floats only.
+        """
+        exclude = set(exclude)
+        snapshot: Dict[str, Dict] = {}
+        for key, result in self._results.items():
+            label = self._run_label(key)
+            if label in exclude:
+                continue
+            snapshot[label] = {
+                "system": key[0],
+                "dataset": key[1],
+                "algorithm": key[2],
+                "cores": key[3],
+                "cycles": float(result.cycles),
+                "rounds": int(result.rounds),
+                "converged": bool(result.converged),
+                "counters": {
+                    name: float(value)
+                    for name, value in sorted(result.extra.items())
+                    if name.startswith("obs.")
+                },
+            }
+        return snapshot
+
 
 def geometric_mean(values: Iterable[float]) -> float:
     values = [v for v in values if v > 0]

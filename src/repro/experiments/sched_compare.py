@@ -1,0 +1,133 @@
+"""Scheduling comparison — ``steal_policy="random"`` vs ``"partition"``.
+
+Sweeps the skewed synthetic datasets (the power-law stand-ins GL, OK, PK,
+where per-core load imbalance is worst) and compares the seed work-stealing
+behaviour against the partition-aware scheduler of
+:mod:`repro.runtime.scheduling` on the systems that steal: the round-based
+baseline (ligra-o), Minnow, and DepGraph-H.
+
+For each (dataset, system) pair the table reports total cycles, the p95 of
+``RoundLog.makespan_cycles`` under both policies, the number of successful
+steals, and whether the final vertex states matched bit-for-bit.  SSSP is
+the default algorithm because its min-accumulator makes the final state
+schedule-independent, so any cycle delta is pure scheduling.
+
+This is the acceptance artifact for the scheduling layer: on the skewed
+inputs the partition policy should cut p95 makespan on at least two
+datasets without changing the answer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..runtime import run as run_system
+from .common import ExperimentConfig, ExperimentTable, WorkloadCache
+
+#: the systems whose runtimes have a stealing path to compare
+SYSTEMS = ("ligra-o", "minnow", "depgraph-h")
+
+#: the skewed synthetic datasets (heaviest per-partition imbalance)
+SKEWED_DATASETS = ("GL", "OK", "PK")
+
+
+def _p95_makespan(result) -> float:
+    spans: List[float] = [r.makespan_cycles for r in result.round_log]
+    if not spans:
+        return 0.0
+    return float(np.percentile(spans, 95))
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    algorithm: str = "sssp",
+) -> ExperimentTable:
+    # Default to the contended regime: at the figure harness's 64 cores
+    # the scaled-down datasets leave each core's queue too short for
+    # stealing to matter (every policy is neutral); at 16 cores with a
+    # fuller graph the skewed inputs actually produce stragglers.
+    config = config or ExperimentConfig(scale=0.5, cores=16)
+    cache = WorkloadCache(config)
+    table = ExperimentTable(
+        "sched_compare",
+        f"work-stealing policy comparison ({algorithm}, "
+        f"{config.cores} cores, scale {config.scale:g})",
+        [
+            "dataset",
+            "system",
+            "rand_cycles",
+            "part_cycles",
+            "rand_p95",
+            "part_p95",
+            "p95_gain",
+            "steals",
+            "state_match",
+        ],
+    )
+    hw = config.hardware()
+    improved = 0
+    for dataset in SKEWED_DATASETS:
+        graph = cache.graph(dataset)
+        for system in SYSTEMS:
+            rand = run_system(
+                system,
+                graph,
+                cache.algorithm(algorithm),
+                hw,
+                steal_policy="random",
+            )
+            part = run_system(
+                system,
+                graph,
+                cache.algorithm(algorithm),
+                hw,
+                steal_policy="partition",
+            )
+            rand_p95 = _p95_makespan(rand)
+            part_p95 = _p95_makespan(part)
+            gain = rand_p95 / part_p95 if part_p95 else 1.0
+            if gain > 1.0:
+                improved += 1
+            table.add(
+                dataset,
+                system,
+                round(rand.cycles),
+                round(part.cycles),
+                round(rand_p95),
+                round(part_p95),
+                f"{gain:.2f}x",
+                int(part.extra.get("obs.sched.steals_succeeded", 0)),
+                bool(np.array_equal(rand.states, part.states)),
+            )
+    table.note(
+        "p95_gain > 1.00x means the partition-aware scheduler cut the "
+        "p95 round makespan"
+    )
+    table.note(
+        f"{improved} of {len(SKEWED_DATASETS) * len(SYSTEMS)} "
+        "(dataset, system) pairs improved"
+    )
+    table.note(
+        "state_match uses sssp's min-accumulator: final states are "
+        "schedule-independent, so True certifies the policies computed "
+        "the same answer"
+    )
+    return table
+
+
+def main() -> None:  # pragma: no cover - console entry point
+    import pathlib
+
+    table = run()
+    table.print()
+    results = pathlib.Path("results")
+    if results.is_dir():
+        out = results / "sched_compare.txt"
+        out.write_text(table.render() + "\n")
+        print(f"\nwrote {out}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

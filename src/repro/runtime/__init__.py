@@ -11,9 +11,23 @@ from .registry import (
     run_many,
 )
 from .roundbased import POLICIES, RoundPolicy, run_roundbased
+from .scheduling import (
+    PARTITION_POLICY,
+    RANDOM_POLICY,
+    STEAL_POLICIES,
+    CostEstimator,
+    SchedulingPolicy,
+    VictimRanker,
+)
 from .stats import ExecutionResult, RoundLog
 
 __all__ = [
+    "SchedulingPolicy",
+    "CostEstimator",
+    "VictimRanker",
+    "STEAL_POLICIES",
+    "RANDOM_POLICY",
+    "PARTITION_POLICY",
     "SimContext",
     "DepGraphOptions",
     "run_depgraph",

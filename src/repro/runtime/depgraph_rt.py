@@ -49,7 +49,17 @@ from ..algorithms.base import Algorithm
 from ..graph.csr import CSRGraph
 from ..graph.partition import by_edge_count
 from ..hardware.config import HardwareConfig
+from ..hardware.noc import MeshNoC
 from .context import STEAL_CYCLES, SimContext
+from .scheduling import (
+    RANDOM_POLICY,
+    REBALANCE_MOVE_CYCLES,
+    CostEstimator,
+    SchedCounters,
+    SchedulingPolicy,
+    VictimRanker,
+    rebalance_ownership,
+)
 from .stats import ExecutionResult, RoundLog
 
 DEFAULT_MAX_ROUNDS = 4000
@@ -94,14 +104,25 @@ class _DepGraphExecution:
         system: str,
         max_rounds: int,
         tracer=None,
+        sched: Optional[SchedulingPolicy] = None,
     ) -> None:
         self.options = options
+        self.sched = sched or RANDOM_POLICY
         self.max_rounds = max_rounds
         self.ctx = SimContext(
             graph, algorithm, hardware, system, options.simd, tracer=tracer
         )
         ctx = self.ctx
         cores = ctx.num_cores
+        self.estimator = CostEstimator([int(d) for d in ctx.graph.out_degrees()])
+        self.ranker = VictimRanker(
+            cores,
+            MeshNoC(
+                hardware.mesh_width, hardware.mesh_height, hardware.noc_hop_cycles
+            ),
+        )
+        self.sched_counters = SchedCounters(ctx.metrics, self.ranker)
+        self.sched_counters.flush_policy(self.sched)
 
         # --- software preprocessing: partitions + hub vertices (one pass) --
         if cores == 1:
@@ -278,6 +299,12 @@ class _DepGraphExecution:
             updates_before = ctx.updates
             active = sum(q.current_size() for q in self.queues)
             self.visited = set()
+            if (
+                self.sched.partition_aware
+                and self.options.work_stealing
+                and ctx.num_cores > 1
+            ):
+                self._maybe_rebalance()
             self._run_round()
             if self.options.ddmu_mode == "learned":
                 self._observe_learning_entries()
@@ -367,15 +394,62 @@ class _DepGraphExecution:
         else:
             self.ctx.charge_overhead(core, 8)
 
+    def _queued_cost(self, part: int) -> int:
+        """Estimated processing cost of a partition's queued roots."""
+        vertices = self.queues[part].current_vertices()
+        if not vertices:
+            return 0
+        return self.estimator.queue_cost(vertices)
+
+    def _maybe_rebalance(self) -> None:
+        """Between rounds: re-map partition ownership when the upcoming
+        queue costs are skewed (the makespan histogram's p95 tail comes
+        from rounds whose hot partitions all start on one core).  The
+        barrier has just synchronised every clock, so charging the
+        receiving cores is deterministic."""
+        part_costs = [self._queued_cost(p) for p in range(self.part_count)]
+        new_owner = rebalance_ownership(
+            part_costs,
+            self.part_owner,
+            self.ctx.num_cores,
+            self.ranker,
+            self.sched.rebalance_skew,
+        )
+        if new_owner is None:
+            return
+        ctx = self.ctx
+        moves = 0
+        for part, (old, new) in enumerate(zip(self.part_owner, new_owner)):
+            if old != new:
+                moves += 1
+                ctx.charge_overhead(new, REBALANCE_MOVE_CYCLES)
+        self.part_owner = new_owner
+        self.core_parts = [[] for _ in range(ctx.num_cores)]
+        for part, owner in enumerate(new_owner):
+            self.core_parts[owner].append(part)
+        self.sched_counters.rebalance(moves)
+        if ctx.tracer.enabled:
+            ctx.tracer.instant(
+                "rebalance",
+                max(ctx.clock),
+                cat="sched",
+                args={"moves": moves},
+            )
+
     def _run_round(self) -> None:
         ctx = self.ctx
         cores = range(ctx.num_cores)
+        steal = (
+            self._maybe_steal_partition
+            if self.sched.partition_aware
+            else self._maybe_steal
+        )
         while True:
             candidates = [c for c in cores if self._core_has_work(c)]
             if not candidates:
                 break
             if self.options.work_stealing and len(candidates) < ctx.num_cores:
-                self._maybe_steal(candidates)
+                steal(candidates)
                 candidates = [c for c in cores if self._core_has_work(c)]
             core = min(candidates, key=lambda c: ctx.clock[c])
             part = self._pick_part(core)
@@ -387,8 +461,10 @@ class _DepGraphExecution:
                 self._handle_root(core, root)
 
     def _maybe_steal(self, candidates: List[int]) -> None:
-        """An idle core claims a pending partition from the busiest core."""
+        """An idle core claims a pending partition from the busiest core
+        (the seed scheduler, preserved as ``steal_policy="random"``)."""
         ctx = self.ctx
+        self.sched_counters.attempt()
 
         def load(core: int) -> int:
             return sum(
@@ -412,17 +488,87 @@ class _DepGraphExecution:
             return
         thief = min(idle, key=lambda c: ctx.clock[c])
         part = busy_parts[-1]
-        self.core_parts[busiest].remove(part)
-        self.core_parts[thief].append(part)
-        self.part_owner[part] = thief
-        ctx.charge_overhead(thief, STEAL_CYCLES)
+        self._move_partitions(thief, busiest, [part], STEAL_CYCLES)
+
+    def _maybe_steal_partition(self, candidates: List[int]) -> None:
+        """Partition-aware chunked steal: the idle core that is furthest
+        behind picks a NoC-near victim holding substantial estimated work
+        and claims half of its pending partitions — preferring partitions
+        whose vertex ranges sit adjacent to the thief's own."""
+        ctx = self.ctx
+        self.sched_counters.attempt()
+        idle = [c for c in range(ctx.num_cores) if not self._core_has_work(c)]
+        if not idle:
+            return
+        thief = min(idle, key=lambda c: ctx.clock[c])
+        loads = [0] * ctx.num_cores
+        for core in candidates:
+            busy = [
+                p for p in self.core_parts[core]
+                if not self.queues[p].current_empty
+            ]
+            if len(busy) >= 2:
+                loads[core] = sum(self._queued_cost(p) for p in busy)
+        victim = self.ranker.choose(thief, loads, min_load=1.0)
+        if victim is None or ctx.clock[thief] >= ctx.clock[victim]:
+            return
+        busy_parts = [
+            p
+            for p in self.core_parts[victim]
+            if not self.queues[p].current_empty
+        ]
+        if len(busy_parts) < 2:
+            return
+        # partition adjacency: among equally-loaded ranges prefer the ones
+        # nearest the thief's own, so the chains the thief continues stay
+        # close to data it already owns
+        anchors = self.core_parts[thief] or [self.part_count * 2]
+
+        def adjacency(part: int) -> int:
+            return min(abs(part - a) for a in anchors)
+
+        part_cost = {p: self._queued_cost(p) for p in busy_parts}
+        ranked = sorted(
+            busy_parts, key=lambda p: (-part_cost[p], adjacency(p), p)
+        )
+        # chunked steal: claim heavy partitions until about half the
+        # victim's queued cost has moved, always leaving it at least one
+        victim_cost = sum(part_cost.values())
+        chosen: List[int] = []
+        taken_cost = 0
+        for part in ranked[: len(busy_parts) - 1]:
+            chosen.append(part)
+            taken_cost += part_cost[part]
+            if taken_cost * 2 >= victim_cost:
+                break
+        cost = (
+            STEAL_CYCLES
+            + self.sched.hop_penalty_cycles * self.ranker.hops(thief, victim)
+        )
+        self._move_partitions(thief, victim, chosen, cost)
+
+    def _move_partitions(
+        self, thief: int, victim: int, parts: List[int], cost: float
+    ) -> None:
+        ctx = self.ctx
+        for part in parts:
+            self.core_parts[victim].remove(part)
+            self.core_parts[thief].append(part)
+            self.part_owner[part] = thief
+        ctx.charge_overhead(thief, cost)
+        self.sched_counters.steal(
+            thief,
+            victim,
+            sum(self.queues[p].current_size() for p in parts),
+            float(sum(self._queued_cost(p) for p in parts)),
+        )
         if ctx.tracer.enabled:
             ctx.tracer.instant(
                 "steal",
                 ctx.clock[thief],
                 track=thief + 1,
                 cat="sched",
-                args={"partition": part, "victim": busiest},
+                args={"partitions": list(parts), "victim": victim},
             )
 
     # ------------------------------------------------------------------
@@ -718,10 +864,18 @@ def run_depgraph(
     system: str = "depgraph-h",
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     tracer=None,
+    sched: Optional[SchedulingPolicy] = None,
 ) -> ExecutionResult:
     """Run one dependency-driven execution."""
     return _DepGraphExecution(
-        graph, algorithm, hardware, options, system, max_rounds, tracer=tracer
+        graph,
+        algorithm,
+        hardware,
+        options,
+        system,
+        max_rounds,
+        tracer=tracer,
+        sched=sched,
     ).run()
 
 
@@ -731,6 +885,7 @@ def run_sequential(
     hardware: Optional[HardwareConfig] = None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     tracer=None,
+    sched: Optional[SchedulingPolicy] = None,
 ) -> ExecutionResult:
     """The single-thread asynchronous DFS baseline (u_s measurement)."""
     hw = (hardware or HardwareConfig.scaled()).with_cores(1)
@@ -742,4 +897,5 @@ def run_sequential(
         system="sequential",
         max_rounds=max_rounds,
         tracer=tracer,
+        sched=sched,
     )

@@ -23,7 +23,15 @@ from ..algorithms.base import Algorithm
 from ..algorithms.detect import AccumKind
 from ..graph.csr import CSRGraph
 from ..hardware.config import HardwareConfig
-from .context import SimContext
+from ..hardware.noc import MeshNoC
+from .context import STEAL_CYCLES, SimContext
+from .scheduling import (
+    RANDOM_POLICY,
+    CostEstimator,
+    SchedCounters,
+    SchedulingPolicy,
+    VictimRanker,
+)
 from .stats import ExecutionResult, RoundLog
 
 #: core-side cost of an offloaded worklist operation (near-free)
@@ -41,7 +49,9 @@ class _MinnowExecution:
         algorithm: Algorithm,
         hardware: HardwareConfig,
         tracer=None,
+        sched: Optional[SchedulingPolicy] = None,
     ) -> None:
+        self.sched = sched or RANDOM_POLICY
         self.ctx = SimContext(
             graph, algorithm, hardware, "minnow", simd=True, tracer=tracer
         )
@@ -52,6 +62,15 @@ class _MinnowExecution:
         self.prefetchers: List[PrefetchTimeline] = [
             PrefetchTimeline() for _ in range(ctx.num_cores)
         ]
+        self.estimator = CostEstimator([int(d) for d in ctx.graph.out_degrees()])
+        self.ranker = VictimRanker(
+            ctx.num_cores,
+            MeshNoC(
+                hardware.mesh_width, hardware.mesh_height, hardware.noc_hop_cycles
+            ),
+        )
+        self.sched_counters = SchedCounters(ctx.metrics, self.ranker)
+        self.sched_counters.flush_policy(self.sched)
 
     # ------------------------------------------------------------------
     def _priority(self, vertex: int, value: Optional[float] = None) -> float:
@@ -105,6 +124,12 @@ class _MinnowExecution:
                 converged = False
                 break
             core = min(candidates, key=lambda c: ctx.clock[c])
+            if (
+                self.sched.partition_aware
+                and len(candidates) < ctx.num_cores
+                and self._maybe_steal(candidates, ctx.clock[core])
+            ):
+                continue
             vertex = self.worklists[core].pop()
             if vertex is None:
                 continue
@@ -133,6 +158,62 @@ class _MinnowExecution:
         result = ctx.result(converged)
         result.round_log.append(RoundLog(0, pops, ctx.updates, result.cycles))
         return result
+
+    # ------------------------------------------------------------------
+    def _maybe_steal(self, candidates: List[int], busy_clock: float) -> bool:
+        """Partition-aware stealing for the continuous worklist model: an
+        idle core that has fallen behind the simulated present grabs half
+        of a NoC-near victim's pending entries.  The seed Minnow never
+        stole (activations always land on the owner core), so this path
+        only exists under ``steal_policy="partition"``."""
+        ctx = self.ctx
+        idle = [
+            c
+            for c in range(ctx.num_cores)
+            if self.worklists[c].empty and ctx.clock[c] < busy_clock
+        ]
+        if not idle:
+            return False
+        self.sched_counters.attempt()
+        thief = min(idle, key=lambda c: ctx.clock[c])
+        loads = [
+            float(self.worklists[c].valid_entries) if c in candidates else 0.0
+            for c in range(ctx.num_cores)
+        ]
+        victim = self.ranker.choose(thief, loads, min_load=4.0)
+        if victim is None:
+            return False
+        take = self.worklists[victim].valid_entries // 2
+        stolen: List[int] = []
+        for _ in range(take):
+            vertex = self.worklists[victim].pop()
+            if vertex is None:
+                break
+            stolen.append(vertex)
+        if not stolen:
+            return False
+        for vertex in stolen:
+            self.worklists[thief].push(vertex, self._priority(vertex))
+        ctx.charge_overhead(
+            thief,
+            STEAL_CYCLES
+            + self.sched.hop_penalty_cycles * self.ranker.hops(thief, victim),
+        )
+        self.sched_counters.steal(
+            thief,
+            victim,
+            len(stolen),
+            float(self.estimator.queue_cost(stolen)),
+        )
+        if ctx.tracer.enabled:
+            ctx.tracer.instant(
+                "steal",
+                ctx.clock[thief],
+                track=thief + 1,
+                cat="sched",
+                args={"victim": victim, "taken": len(stolen)},
+            )
+        return True
 
     # ------------------------------------------------------------------
     def _prefetched_read(self, core: int, addr: int) -> None:
@@ -223,6 +304,9 @@ def run_minnow(
     hardware: HardwareConfig,
     max_pops: Optional[int] = None,
     tracer=None,
+    sched: Optional[SchedulingPolicy] = None,
 ) -> ExecutionResult:
     """Execute under the Minnow priority-worklist model."""
-    return _MinnowExecution(graph, algorithm, hardware, tracer=tracer).run(max_pops)
+    return _MinnowExecution(
+        graph, algorithm, hardware, tracer=tracer, sched=sched
+    ).run(max_pops)

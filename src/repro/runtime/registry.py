@@ -32,6 +32,7 @@ from .depgraph_rt import (
 )
 from .minnow_rt import run_minnow
 from .roundbased import POLICIES, run_roundbased
+from .scheduling import pop_scheduling_options
 from .stats import ExecutionResult
 
 SYSTEM_NAMES = (
@@ -67,17 +68,21 @@ def run(
 ) -> ExecutionResult:
     """Run ``algorithm`` over ``graph`` under the named system.
 
-    ``options`` are forwarded to :class:`DepGraphOptions` for the DepGraph
-    variants (e.g. ``lam=0.01, stack_depth=20, ddmu_mode="learned"``) and
-    ignored elsewhere.  ``tracer`` (a :class:`repro.observe.Tracer`)
-    enables structured event tracing for this run; the default is the
-    process-wide tracer, a no-op unless ``repro.observe.tracing`` is
-    active.
+    Scheduling keywords (``steal_policy="random"|"partition"``,
+    ``rebalance_skew``, ``hop_penalty_cycles``) are understood by every
+    system and routed to :class:`repro.runtime.SchedulingPolicy`; the
+    remaining ``options`` are forwarded to :class:`DepGraphOptions` for
+    the DepGraph variants (e.g. ``lam=0.01, stack_depth=20,
+    ddmu_mode="learned"``) and ignored elsewhere.  ``tracer`` (a
+    :class:`repro.observe.Tracer`) enables structured event tracing for
+    this run; the default is the process-wide tracer, a no-op unless
+    ``repro.observe.tracing`` is active.
     """
     hw = hardware or HardwareConfig.scaled()
+    sched = pop_scheduling_options(options)
     if system == "sequential":
         return run_sequential(
-            graph, algorithm, hw, max_rounds=max_rounds, tracer=tracer
+            graph, algorithm, hw, max_rounds=max_rounds, tracer=tracer, sched=sched
         )
     if system in POLICIES:
         return run_roundbased(
@@ -87,9 +92,10 @@ def run(
             POLICIES[system],
             max_rounds=max_rounds,
             tracer=tracer,
+            sched=sched,
         )
     if system == "minnow":
-        return run_minnow(graph, algorithm, hw, tracer=tracer)
+        return run_minnow(graph, algorithm, hw, tracer=tracer, sched=sched)
     if system == "depgraph-s":
         opts = DepGraphOptions(hardware=False, **options)
         return run_depgraph(
@@ -100,6 +106,7 @@ def run(
             system=system,
             max_rounds=max_rounds,
             tracer=tracer,
+            sched=sched,
         )
     if system == "depgraph-h":
         opts = DepGraphOptions(hardware=True, **options)
@@ -111,6 +118,7 @@ def run(
             system=system,
             max_rounds=max_rounds,
             tracer=tracer,
+            sched=sched,
         )
     if system == "depgraph-h-w":
         options.pop("hub_enabled", None)
@@ -123,6 +131,7 @@ def run(
             system=system,
             max_rounds=max_rounds,
             tracer=tracer,
+            sched=sched,
         )
     raise KeyError(f"unknown system {system!r}; known: {SYSTEM_NAMES}")
 

@@ -30,14 +30,23 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..accel.hats import HATSScheduler, PrefetchTimeline
 from ..accel.phi import PHIUpdateBuffer
 from ..algorithms.base import Algorithm
 from ..graph.csr import CSRGraph
 from ..hardware.config import HardwareConfig
+from ..hardware.noc import MeshNoC
 from .context import STEAL_CYCLES, SimContext
+from .scheduling import (
+    RANDOM_POLICY,
+    CostEstimator,
+    SchedCounters,
+    SchedulingPolicy,
+    VictimRanker,
+    chunk_split,
+)
 from .stats import ExecutionResult, RoundLog
 
 #: safety valve against non-converging configurations
@@ -96,8 +105,10 @@ class _RoundEngine:
         policy: RoundPolicy,
         max_rounds: int,
         tracer=None,
+        sched: Optional[SchedulingPolicy] = None,
     ) -> None:
         self.policy = policy
+        self.sched = sched or RANDOM_POLICY
         self.ctx = SimContext(
             graph, algorithm, hardware, policy.name, policy.simd, tracer=tracer
         )
@@ -105,6 +116,15 @@ class _RoundEngine:
         ctx = self.ctx
         n = ctx.graph.num_vertices
         self.degrees = [int(d) for d in ctx.graph.out_degrees()]
+        self.estimator = CostEstimator(self.degrees)
+        self.ranker = VictimRanker(
+            ctx.num_cores,
+            MeshNoC(
+                hardware.mesh_width, hardware.mesh_height, hardware.noc_hop_cycles
+            ),
+        )
+        self.sched_counters = SchedCounters(ctx.metrics, self.ranker)
+        self.sched_counters.flush_policy(self.sched)
         self.in_next = bytearray(n)
         self.next_frontier: List[int] = []
         self.prefetchers = (
@@ -189,8 +209,14 @@ class _RoundEngine:
         while heap:
             _, core = heapq.heappop(heap)
             if cursors[core] >= len(queues[core]):
-                if self.policy.work_stealing and self._steal(core, queues, cursors):
-                    heapq.heappush(heap, (ctx.clock[core], core))
+                if self.policy.work_stealing:
+                    stole = (
+                        self._steal_partition(core, queues, cursors)
+                        if self.sched.partition_aware
+                        else self._steal(core, queues, cursors)
+                    )
+                    if stole:
+                        heapq.heappush(heap, (ctx.clock[core], core))
                 continue
             vertex = queues[core][cursors[core]]
             cursors[core] += 1
@@ -205,8 +231,10 @@ class _RoundEngine:
             heapq.heappush(heap, (ctx.clock[core], core))
 
     def _steal(self, thief: int, queues, cursors) -> bool:
-        """Take the back half of the most loaded core's remaining work."""
+        """Take the back half of the most loaded core's remaining work
+        (the seed scheduler, preserved as ``steal_policy="random"``)."""
         ctx = self.ctx
+        self.sched_counters.attempt()
         best, best_left = -1, 1
         for core in range(ctx.num_cores):
             left = len(queues[core]) - cursors[core]
@@ -222,15 +250,52 @@ class _RoundEngine:
         queues[thief] = stolen
         cursors[thief] = 0
         ctx.charge_overhead(thief, STEAL_CYCLES)
+        self._note_steal(thief, best, stolen)
+        return True
+
+    def _steal_partition(self, thief: int, queues, cursors) -> bool:
+        """Partition-aware chunked steal: pick a NoC-near victim holding
+        substantial *estimated* work and take roughly half that work's
+        cost off the back of its queue (the cheap tail under hubs-first
+        ordering can be many vertices; a hot head few)."""
+        ctx = self.ctx
+        self.sched_counters.attempt()
+        estimator = self.estimator
+        loads = [0] * ctx.num_cores
+        for core in range(ctx.num_cores):
+            if core != thief and len(queues[core]) - cursors[core] >= 2:
+                loads[core] = estimator.queue_cost(queues[core], cursors[core])
+        victim = self.ranker.choose(thief, loads, min_load=1.0)
+        if victim is None:
+            return False
+        take = chunk_split(queues[victim], cursors[victim], estimator)
+        if take <= 0:
+            return False
+        stolen = queues[victim][-take:]
+        del queues[victim][-take:]
+        queues[thief] = stolen
+        cursors[thief] = 0
+        ctx.charge_overhead(
+            thief,
+            STEAL_CYCLES
+            + self.sched.hop_penalty_cycles * self.ranker.hops(thief, victim),
+        )
+        self._note_steal(thief, victim, stolen)
+        return True
+
+    def _note_steal(self, thief: int, victim: int, stolen: List[int]) -> None:
+        ctx = self.ctx
+        self.sched_counters.steal(
+            thief, victim, len(stolen), self.estimator.queue_cost(stolen)
+        )
         if ctx.tracer.enabled:
             ctx.tracer.instant(
                 "steal",
                 ctx.clock[thief],
                 track=thief + 1,
                 cat="sched",
-                args={"victim": best, "taken": take},
+                args={"victim": victim, "taken": len(stolen)},
             )
-        return True
 
     # ------------------------------------------------------------------
     def _read_stream(self, core: int, addr: int) -> None:
@@ -359,8 +424,9 @@ def run_roundbased(
     policy: RoundPolicy,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     tracer=None,
+    sched: Optional[SchedulingPolicy] = None,
 ) -> ExecutionResult:
     """Execute ``algorithm`` on ``graph`` under a round-based system."""
     return _RoundEngine(
-        graph, algorithm, hardware, policy, max_rounds, tracer=tracer
+        graph, algorithm, hardware, policy, max_rounds, tracer=tracer, sched=sched
     ).run()

@@ -1,0 +1,326 @@
+"""Partition-aware load-balancing scheduler shared by the runtimes.
+
+The seed runtimes each carried an ad-hoc ``_steal``: the round-based
+family took the back *half-count* of the most-loaded core's queue, the
+dependency-driven family moved one partition at a time, and Minnow never
+stole at all.  All three ignored two things the simulator models
+precisely:
+
+* **work is not count** — on power-law graphs a queue of 50 tail
+  vertices is cheaper than one hub, so count-balanced steals leave the
+  victim with the expensive half (the hubs-first ordering guarantees
+  it); and
+* **distance is not free** — a steal is queue traffic across the mesh,
+  and the victim's partition data is resident near the victim's tile,
+  so a far steal pays NoC hops both for the grab and for every state
+  line the thief then misses on.
+
+This module centralises the remedy.  :class:`CostEstimator` prices work
+by CSR out-degree; :class:`VictimRanker` orders steal victims by X-Y
+mesh hop distance (and breaks ties toward partition-adjacent ranges);
+:func:`chunk_split` sizes chunked steals by *estimated cost* rather
+than count; and :func:`rebalance_ownership` re-maps the dependency
+runtime's ``partition -> owning core`` table between rounds when the
+upcoming queue costs are skewed (LPT assignment, nearest-core
+preference).
+
+Everything is deterministic — no RNG anywhere — so two runs of the same
+workload produce identical schedules and identical ``obs.sched.*``
+counters.  The seed behaviour is preserved verbatim under
+``steal_policy="random"`` (the historical name for the blind
+most-loaded-victim heuristic); ``steal_policy="partition"`` switches a
+runtime onto this layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hardware.noc import MeshNoC
+
+#: recognised values for ``steal_policy``
+STEAL_POLICIES = ("random", "partition")
+
+#: flat cost to process one vertex: dispatch + state/delta read + write
+VERTEX_BASE_COST = 16
+#: incremental cost per out-edge: edge compute + scatter accumulate
+EDGE_UNIT_COST = 8
+#: extra steal latency per mesh hop between thief and victim (queue line
+#: round trip; the flat STEAL_CYCLES already covers the local handshake)
+HOP_PENALTY_CYCLES = 6
+#: cycles to re-point one partition's ownership entry during a rebalance
+REBALANCE_MOVE_CYCLES = 60
+
+
+@dataclass(frozen=True)
+class SchedulingPolicy:
+    """Scheduling knobs shared by all three runtime families.
+
+    ``steal_policy="random"`` reproduces the seed scheduler exactly;
+    ``"partition"`` enables cost-estimated queues, NoC-near victim
+    selection, cost-sized chunked steals, and (dependency runtime only)
+    inter-round ownership rebalancing.
+    """
+
+    steal_policy: str = "random"
+    #: makespan skew ratio (max/mean estimated core cost) that triggers an
+    #: inter-round ownership rebalance in the dependency runtime
+    rebalance_skew: float = 1.5
+    #: extra steal cycles charged per mesh hop under the partition policy
+    hop_penalty_cycles: int = HOP_PENALTY_CYCLES
+
+    def __post_init__(self) -> None:
+        if self.steal_policy not in STEAL_POLICIES:
+            raise ValueError(
+                f"unknown steal_policy {self.steal_policy!r}; "
+                f"expected one of {STEAL_POLICIES}"
+            )
+
+    @property
+    def partition_aware(self) -> bool:
+        return self.steal_policy == "partition"
+
+
+RANDOM_POLICY = SchedulingPolicy()
+PARTITION_POLICY = SchedulingPolicy(steal_policy="partition")
+
+
+def make_policy(steal_policy: str = "random", **knobs) -> SchedulingPolicy:
+    """Build a policy from the flat keyword form the registry accepts."""
+    return SchedulingPolicy(steal_policy=steal_policy, **knobs)
+
+
+# ----------------------------------------------------------------------
+class CostEstimator:
+    """Degree-weighted work estimates from the CSR out-degree array.
+
+    The estimate mirrors the simulator's charging structure: a flat
+    per-vertex cost (dispatch, state and delta round trips) plus a
+    per-out-edge cost (edge compute and scatter).  It deliberately stays
+    integer so schedules — and hence ``obs.sched.*`` counters — are
+    bit-reproducible.
+    """
+
+    __slots__ = ("degrees", "base", "per_edge")
+
+    def __init__(
+        self,
+        degrees: Sequence[int],
+        base: int = VERTEX_BASE_COST,
+        per_edge: int = EDGE_UNIT_COST,
+    ) -> None:
+        self.degrees = degrees
+        self.base = base
+        self.per_edge = per_edge
+
+    def vertex_cost(self, vertex: int) -> int:
+        return self.base + self.per_edge * int(self.degrees[vertex])
+
+    def queue_cost(self, vertices: Sequence[int], start: int = 0) -> int:
+        """Estimated cost of the remaining slice ``vertices[start:]``."""
+        degrees = self.degrees
+        per_edge = self.per_edge
+        total = self.base * (len(vertices) - start)
+        for i in range(start, len(vertices)):
+            total += per_edge * int(degrees[vertices[i]])
+        return total
+
+
+def chunk_split(vertices: Sequence[int], start: int, estimator: CostEstimator) -> int:
+    """How many items a chunked steal takes off the *back* of
+    ``vertices[start:]`` so the thief receives about half the remaining
+    estimated cost.
+
+    Always leaves the victim at least one item (it may be mid-processing
+    the front) and never takes more than ``remaining - 1``; a remaining
+    slice shorter than two items yields 0.  With uniform degrees this
+    degenerates to the classic Blumofe–Leiserson half-count split.
+    """
+    remaining = len(vertices) - start
+    if remaining < 2:
+        return 0
+    total = estimator.queue_cost(vertices, start)
+    taken_cost = 0
+    take = 0
+    for i in range(len(vertices) - 1, start, -1):
+        cost = estimator.vertex_cost(vertices[i])
+        if take > 0 and (taken_cost + cost) * 2 > total + cost:
+            break
+        taken_cost += cost
+        take += 1
+        if taken_cost * 2 >= total:
+            break
+    return min(take, remaining - 1)
+
+
+# ----------------------------------------------------------------------
+class VictimRanker:
+    """Ranks steal victims by mesh proximity to the thief.
+
+    Cores occupy mesh tiles in row-major order (the placement the cache
+    hierarchy already uses for L3 bank distances), so thief→victim hop
+    counts come straight from the X-Y routed Manhattan distance.
+    """
+
+    def __init__(self, num_cores: int, mesh: Optional[MeshNoC] = None) -> None:
+        mesh = mesh or MeshNoC()
+        self.num_cores = num_cores
+        self.mesh = mesh
+        self._hops: List[List[int]] = [
+            [mesh.hops(a, b) for b in range(num_cores)] for a in range(num_cores)
+        ]
+
+    def hops(self, thief: int, victim: int) -> int:
+        return self._hops[thief][victim]
+
+    def rank(self, thief: int, candidates: Sequence[int]) -> List[int]:
+        """Candidates ordered nearest-first (ties by core id)."""
+        hops = self._hops[thief]
+        return sorted(candidates, key=lambda core: (hops[core], core))
+
+    def choose(
+        self,
+        thief: int,
+        loads: Sequence[float],
+        min_load: float = 1.0,
+    ) -> Optional[int]:
+        """Pick a steal victim for ``thief``.
+
+        Among the cores carrying at least half the maximum estimated
+        load (and at least ``min_load``), the nearest wins; ties go to
+        the heavier load, then the lower core id.  The load floor keeps
+        the proximity preference from stealing peanuts next door while a
+        far core drowns.
+        """
+        max_load = 0.0
+        for core, load in enumerate(loads):
+            if core != thief and load > max_load:
+                max_load = load
+        if max_load < min_load:
+            return None
+        floor = max(min_load, max_load / 2.0)
+        hops = self._hops[thief]
+        best: Optional[int] = None
+        best_key: Tuple[float, float, int] = (0.0, 0.0, 0)
+        for core, load in enumerate(loads):
+            if core == thief or load < floor:
+                continue
+            key = (hops[core], -load, core)
+            if best is None or key < best_key:
+                best, best_key = core, key
+        return best
+
+
+# ----------------------------------------------------------------------
+def rebalance_ownership(
+    part_costs: Sequence[float],
+    part_owner: Sequence[int],
+    num_cores: int,
+    ranker: Optional[VictimRanker] = None,
+    skew_threshold: float = 1.5,
+) -> Optional[List[int]]:
+    """Re-map ``partition -> owning core`` when upcoming work is skewed.
+
+    ``part_costs[p]`` is the estimated cost of partition ``p``'s queued
+    work for the round about to start.  When the per-core totals under
+    the current ownership are skewed beyond ``skew_threshold``
+    (max/mean over non-zero mean), partitions are re-assigned by LPT
+    (longest processing time first) onto the least-loaded core; ties in
+    core load resolve toward the partition's current owner, then the
+    mesh-nearest core to that owner, so light rounds barely move
+    anything.  Returns the new owner list, or ``None`` when the current
+    map is already balanced enough.
+    """
+    totals = [0.0] * num_cores
+    for part, cost in enumerate(part_costs):
+        totals[part_owner[part]] += cost
+    mean = sum(totals) / num_cores
+    if mean <= 0.0 or max(totals) <= skew_threshold * mean:
+        return None
+
+    order = sorted(
+        range(len(part_costs)), key=lambda p: (-part_costs[p], p)
+    )
+    new_owner = list(part_owner)
+    new_totals = [0.0] * num_cores
+    for part in order:
+        home = part_owner[part]
+
+        def placement_key(core: int) -> Tuple[float, int, int, int]:
+            hops = ranker.hops(home, core) if ranker is not None else 0
+            return (new_totals[core], 0 if core == home else 1, hops, core)
+
+        target = min(range(num_cores), key=placement_key)
+        new_owner[part] = target
+        new_totals[target] += part_costs[part]
+    if new_owner == list(part_owner):
+        return None
+    return new_owner
+
+
+# ----------------------------------------------------------------------
+class SchedCounters:
+    """Thin recorder for the ``obs.sched.*`` counter family.
+
+    Cheap enough to run on every execution (steals and rebalances are
+    rare events); the victim hop-distance histogram only carries signal
+    under the partition policy but is recorded for the random policy too
+    so before/after counter diffs line up key-for-key.
+    """
+
+    __slots__ = ("metrics", "ranker")
+
+    def __init__(self, metrics, ranker: Optional[VictimRanker] = None) -> None:
+        self.metrics = metrics
+        self.ranker = ranker
+
+    def attempt(self) -> None:
+        self.metrics.inc("sched.steals_attempted")
+
+    def steal(self, thief: int, victim: int, items: int, cost: float) -> None:
+        metrics = self.metrics
+        metrics.inc("sched.steals_succeeded")
+        metrics.inc("sched.stolen_items", items)
+        metrics.inc("sched.stolen_work_cycles", cost)
+        if self.ranker is not None:
+            metrics.observe("sched.victim_hops", self.ranker.hops(thief, victim))
+
+    def rebalance(self, moves: int) -> None:
+        self.metrics.inc("sched.rebalances")
+        self.metrics.inc("sched.rebalance_moves", moves)
+
+    def flush_policy(self, policy: SchedulingPolicy) -> None:
+        """Record which policy ran, so metrics.json is self-describing.
+
+        Also zero-seeds the counter family so every run reports the same
+        ``obs.sched.*`` keys (a Minnow run under the seed policy never
+        even attempts a steal) and counter diffs line up key-for-key.
+        """
+        metrics = self.metrics
+        metrics.set(
+            "sched.partition_aware", 1.0 if policy.partition_aware else 0.0
+        )
+        for name in (
+            "sched.steals_attempted",
+            "sched.steals_succeeded",
+            "sched.stolen_items",
+            "sched.stolen_work_cycles",
+            "sched.rebalances",
+            "sched.rebalance_moves",
+        ):
+            metrics.inc(name, 0.0)
+
+
+def pop_scheduling_options(options: Dict) -> SchedulingPolicy:
+    """Extract scheduling keywords from a registry ``**options`` dict.
+
+    Removes ``steal_policy`` / ``rebalance_skew`` / ``hop_penalty_cycles``
+    (leaving runtime-specific options in place) and returns the policy
+    they describe.
+    """
+    knobs = {}
+    for name in ("steal_policy", "rebalance_skew", "hop_penalty_cycles"):
+        if name in options:
+            knobs[name] = options.pop(name)
+    return SchedulingPolicy(**knobs)

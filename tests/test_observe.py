@@ -182,6 +182,63 @@ class TestNonPerturbation:
         assert traced.total_updates == untraced.total_updates
         assert len(tracer) > 0
 
+    @pytest.mark.parametrize("system", ["depgraph-h", "ligra-o", "minnow"])
+    def test_traced_partition_run_identical_to_untraced(
+        self, small_workload, system
+    ):
+        """The non-perturbation guarantee must hold under the
+        partition-aware scheduler too: tracing a run that steals, charges
+        hop penalties, and rebalances ownership cannot change it."""
+        graph, hardware = small_workload
+        tracer = Tracer()
+        traced = runtime.run(
+            system,
+            graph,
+            algorithms.make("sssp"),
+            hardware,
+            tracer=tracer,
+            steal_policy="partition",
+        )
+        untraced = runtime.run(
+            system,
+            graph,
+            algorithms.make("sssp"),
+            hardware,
+            steal_policy="partition",
+        )
+        assert traced.states.tobytes() == untraced.states.tobytes()
+        assert traced.cycles == untraced.cycles
+        assert traced.total_updates == untraced.total_updates
+        assert len(tracer) > 0
+
+    @pytest.mark.parametrize("system", ["depgraph-h", "ligra-o", "minnow"])
+    @pytest.mark.parametrize("policy", ["random", "partition"])
+    def test_sched_counters_deterministic(self, small_workload, system, policy):
+        """Two runs of the same workload must report identical
+        ``obs.sched.*`` counters — the scheduler has no hidden RNG."""
+        graph, hardware = small_workload
+
+        def sched_extras():
+            result = runtime.run(
+                system,
+                graph,
+                algorithms.make("sssp"),
+                hardware,
+                steal_policy=policy,
+            )
+            return {
+                k: v for k, v in result.extra.items() if k.startswith("obs.sched.")
+            }
+
+        first = sched_extras()
+        second = sched_extras()
+        assert first == second
+        # the counter family is always flushed, whichever policy ran
+        assert first["obs.sched.steals_attempted"] >= 0
+        assert first["obs.sched.partition_aware"] == (
+            1.0 if policy == "partition" else 0.0
+        )
+
     def test_untraced_run_still_reports_metrics(self, small_workload):
         graph, hardware = small_workload
         result = runtime.run(

@@ -1,0 +1,209 @@
+"""Unit tests for the shared scheduling layer (repro.runtime.scheduling).
+
+Covers the degree-weighted cost estimator, mesh-proximity victim ranking
+(near cores must outrank far ones), the cost-sized chunked-steal split,
+the rebalance skew threshold, and the policy/option plumbing.
+"""
+
+import pytest
+
+from repro.hardware.noc import MeshNoC
+from repro.runtime.scheduling import (
+    EDGE_UNIT_COST,
+    PARTITION_POLICY,
+    RANDOM_POLICY,
+    STEAL_POLICIES,
+    VERTEX_BASE_COST,
+    CostEstimator,
+    SchedulingPolicy,
+    VictimRanker,
+    chunk_split,
+    make_policy,
+    pop_scheduling_options,
+    rebalance_ownership,
+)
+
+
+class TestSchedulingPolicy:
+    def test_default_is_seed_behaviour(self):
+        assert RANDOM_POLICY.steal_policy == "random"
+        assert not RANDOM_POLICY.partition_aware
+
+    def test_partition_policy_flag(self):
+        assert PARTITION_POLICY.partition_aware
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="steal_policy"):
+            SchedulingPolicy(steal_policy="round-robin")
+
+    def test_policies_tuple(self):
+        assert STEAL_POLICIES == ("random", "partition")
+
+    def test_make_policy_knobs(self):
+        policy = make_policy("partition", rebalance_skew=2.0, hop_penalty_cycles=0)
+        assert policy.partition_aware
+        assert policy.rebalance_skew == 2.0
+        assert policy.hop_penalty_cycles == 0
+
+    def test_pop_scheduling_options_strips_only_sched_keys(self):
+        options = {"steal_policy": "partition", "rebalance_skew": 3.0, "lam": 0.01}
+        policy = pop_scheduling_options(options)
+        assert policy.partition_aware
+        assert policy.rebalance_skew == 3.0
+        # runtime-specific options survive for DepGraphOptions
+        assert options == {"lam": 0.01}
+
+    def test_pop_scheduling_options_defaults(self):
+        assert pop_scheduling_options({}) == RANDOM_POLICY
+
+
+class TestCostEstimator:
+    def test_vertex_cost_is_base_plus_degree(self):
+        est = CostEstimator([0, 3, 10])
+        assert est.vertex_cost(0) == VERTEX_BASE_COST
+        assert est.vertex_cost(1) == VERTEX_BASE_COST + 3 * EDGE_UNIT_COST
+        assert est.vertex_cost(2) == VERTEX_BASE_COST + 10 * EDGE_UNIT_COST
+
+    def test_queue_cost_sums_slice(self):
+        est = CostEstimator([1, 2, 3, 4])
+        queue = [0, 1, 2, 3]
+        assert est.queue_cost(queue) == sum(est.vertex_cost(v) for v in queue)
+        assert est.queue_cost(queue, start=2) == est.vertex_cost(2) + est.vertex_cost(3)
+        assert est.queue_cost(queue, start=4) == 0
+
+    def test_hub_outweighs_tail_queue(self):
+        """One 50-edge hub must price above five 1-edge tail vertices —
+        the whole point of degree weighting."""
+        est = CostEstimator([50, 1, 1, 1, 1, 1])
+        assert est.vertex_cost(0) > est.queue_cost([1, 2, 3, 4, 5])
+
+
+class TestChunkSplit:
+    def test_uniform_degrees_take_half(self):
+        est = CostEstimator([1] * 10)
+        assert chunk_split(list(range(10)), 0, est) == 5
+
+    def test_respects_consumed_prefix(self):
+        est = CostEstimator([1] * 10)
+        # 6 remaining -> take 3
+        assert chunk_split(list(range(10)), 4, est) == 3
+
+    def test_zero_when_fewer_than_two_remaining(self):
+        est = CostEstimator([1] * 4)
+        assert chunk_split([0, 1, 2, 3], 3, est) == 0
+        assert chunk_split([0, 1, 2, 3], 4, est) == 0
+        assert chunk_split([0], 0, est) == 0
+
+    def test_always_leaves_victim_one_item(self):
+        est = CostEstimator([1, 1000])
+        # back item is nearly all the cost, but the victim keeps the front
+        assert chunk_split([0, 1], 0, est) == 1
+
+    def test_hub_at_back_satisfies_split_alone(self):
+        """A single hub at the back carries half the cost by itself, so a
+        count-half split (2 of 5) would over-steal."""
+        est = CostEstimator([1, 1, 1, 1, 100])
+        take = chunk_split([0, 1, 2, 3, 4], 0, est)
+        assert take == 1
+
+    def test_tail_heavy_queue_takes_more_than_half_count(self):
+        """When the cheap items sit at the back, cost-half needs more than
+        count-half of them."""
+        degrees = [100, 100, 0, 0, 0, 0, 0, 0]
+        est = CostEstimator(degrees)
+        take = chunk_split(list(range(8)), 0, est)
+        assert take > 3  # count-half would be 4 items but cost says take 6
+        taken = list(range(8))[-take:]
+        assert est.queue_cost(taken) * 2 >= est.queue_cost(list(range(8))) - \
+            est.vertex_cost(taken[0])
+
+
+class TestVictimRanker:
+    def test_near_before_far(self):
+        """On the default 8x8 mesh, core 1 (1 hop from core 0) must rank
+        before core 63 (14 hops)."""
+        ranker = VictimRanker(64, MeshNoC())
+        assert ranker.rank(0, [63, 8, 1]) == [1, 8, 63]
+        assert ranker.hops(0, 1) == 1
+        assert ranker.hops(0, 8) == 1
+        assert ranker.hops(0, 63) == 14
+        assert ranker.hops(5, 5) == 0
+
+    def test_rank_ties_break_by_core_id(self):
+        ranker = VictimRanker(64, MeshNoC())
+        # cores 1 and 8 are both 1 hop from core 0
+        assert ranker.rank(0, [8, 1]) == [1, 8]
+
+    def test_choose_prefers_near_core_over_heaviest(self):
+        """A near core above the load floor wins even when a far core has
+        strictly more work."""
+        ranker = VictimRanker(64, MeshNoC())
+        loads = [0.0] * 64
+        loads[1] = 60.0   # 1 hop, above half of max
+        loads[63] = 100.0  # 14 hops, heaviest
+        assert ranker.choose(0, loads) == 1
+
+    def test_choose_skips_peanuts_next_door(self):
+        """A near core *below* half the max load is not worth the trip."""
+        ranker = VictimRanker(64, MeshNoC())
+        loads = [0.0] * 64
+        loads[1] = 10.0
+        loads[63] = 100.0
+        assert ranker.choose(0, loads) == 63
+
+    def test_choose_honours_min_load(self):
+        ranker = VictimRanker(4, MeshNoC())
+        assert ranker.choose(0, [0.0, 1.0, 0.0, 0.0], min_load=2.0) is None
+        assert ranker.choose(0, [0.0, 2.0, 0.0, 0.0], min_load=2.0) == 1
+
+    def test_choose_never_picks_thief_or_empty(self):
+        ranker = VictimRanker(4, MeshNoC())
+        assert ranker.choose(0, [100.0, 0.0, 0.0, 0.0]) is None
+
+
+class TestRebalance:
+    def test_balanced_map_untouched(self):
+        # 4 partitions, 2 cores, equal work: below any sane threshold
+        assert (
+            rebalance_ownership([10.0, 10.0, 10.0, 10.0], [0, 0, 1, 1], 2)
+            is None
+        )
+
+    def test_threshold_gates_rebalance(self):
+        """Skew just below the threshold is tolerated; above it triggers."""
+        costs = [30.0, 0.0, 10.0, 0.0]  # core0=30, core1=10, mean=20
+        owners = [0, 0, 1, 1]
+        # max/mean = 1.5 exactly -> not strictly above the default threshold
+        assert rebalance_ownership(costs, owners, 2, skew_threshold=1.5) is None
+        new = rebalance_ownership(costs, owners, 2, skew_threshold=1.4)
+        assert new is not None
+
+    def test_lpt_assignment_balances_totals(self):
+        costs = [40.0, 30.0, 20.0, 10.0]
+        owners = [0, 0, 0, 0]  # everything on core 0: skew = 2.0
+        new = rebalance_ownership(costs, owners, 2, skew_threshold=1.5)
+        assert new is not None
+        totals = [0.0, 0.0]
+        for part, core in enumerate(new):
+            totals[core] += costs[part]
+        # LPT on these costs gives a perfect 50/50 split
+        assert totals == [50.0, 50.0]
+
+    def test_zero_work_returns_none(self):
+        assert rebalance_ownership([0.0, 0.0], [0, 1], 2) is None
+
+    def test_ties_keep_home_core(self):
+        """With uniform costs and equal core loads the LPT pass must
+        re-produce the current map (home-core preference), so the function
+        reports 'no change'."""
+        costs = [10.0, 10.0, 10.0, 10.0]
+        owners = [0, 1, 0, 1]
+        assert rebalance_ownership(costs, owners, 2, skew_threshold=0.99) is None
+
+    def test_deterministic(self):
+        costs = [37.0, 11.0, 29.0, 5.0, 23.0, 2.0]
+        owners = [0, 0, 0, 1, 1, 2]
+        ranker = VictimRanker(4, MeshNoC())
+        first = rebalance_ownership(costs, owners, 4, ranker, 1.2)
+        second = rebalance_ownership(costs, owners, 4, ranker, 1.2)
+        assert first == second
