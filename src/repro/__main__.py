@@ -4,7 +4,8 @@ Examples::
 
     python -m repro run --system depgraph-h --dataset LJ --algorithm sssp
     python -m repro compare --dataset FS --algorithm pagerank --scale 0.4
-    python -m repro trace pagerank GL --scale 0.1 --cores 8
+    python -m repro trace pagerank GL --scale 0.1 --cores 8 --sink file
+    python -m repro serve-bench --dataset PK --scale 0.1 --slots 30
     python -m repro experiment fig11
     python -m repro list
 """
@@ -64,7 +65,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--scale", type=float, default=0.35)
     run_p.add_argument("--cores", type=int, default=64)
     run_p.add_argument(
-        "--steal-policy", default="random", choices=runtime.STEAL_POLICIES
+        "--steal-policy", default="auto", choices=runtime.STEAL_POLICIES
     )
 
     cmp_p = sub.add_parser("compare", help="run every system on one workload")
@@ -73,7 +74,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--scale", type=float, default=0.35)
     cmp_p.add_argument("--cores", type=int, default=64)
     cmp_p.add_argument(
-        "--steal-policy", default="random", choices=runtime.STEAL_POLICIES
+        "--steal-policy", default="auto", choices=runtime.STEAL_POLICIES
     )
 
     exp_p = sub.add_parser("experiment", help="regenerate a figure/table")
@@ -97,7 +98,7 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--scale", type=float, default=0.2)
     trace_p.add_argument("--cores", type=int, default=16)
     trace_p.add_argument(
-        "--steal-policy", default="random", choices=runtime.STEAL_POLICIES
+        "--steal-policy", default="auto", choices=runtime.STEAL_POLICIES
     )
     trace_p.add_argument(
         "--out",
@@ -109,6 +110,47 @@ def _build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=observe.DEFAULT_CAPACITY,
         help="trace ring-buffer capacity, in events",
+    )
+    trace_p.add_argument(
+        "--sink",
+        default="ring",
+        choices=("ring", "file"),
+        help="event storage: bounded in-memory ring (default) or a "
+        "streaming JSONL file that never drops the start of a run",
+    )
+
+    serve_p = sub.add_parser(
+        "serve-bench",
+        help="benchmark the serving subsystem: versioned updates, "
+        "batching, caching, warm-start; writes a table + metrics.json",
+    )
+    serve_p.add_argument(
+        "--dataset", default="PK", choices=datasets.DATASET_NAMES
+    )
+    serve_p.add_argument("--scale", type=float, default=0.1)
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument(
+        "--slots", type=_positive_int, default=30,
+        help="workload length, in scheduler slots",
+    )
+    serve_p.add_argument(
+        "--system", default="depgraph-h", choices=runtime.SYSTEM_NAMES
+    )
+    serve_p.add_argument("--cores", type=int, default=8)
+    serve_p.add_argument(
+        "--algorithms",
+        default="pagerank,sssp,wcc",
+        help="comma-separated query mix",
+    )
+    serve_p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the shadow cold-control verification runs",
+    )
+    serve_p.add_argument(
+        "--out",
+        default="results",
+        help="output directory (default: results)",
     )
 
     sub.add_parser("list", help="list systems, algorithms, datasets")
@@ -128,7 +170,16 @@ def _run_trace(args) -> int:
     graph = datasets.load(args.dataset, scale=args.scale)
     algorithm = algorithms.make(args.algorithm)
     hardware = HardwareConfig.scaled(num_cores=args.cores)
-    tracer = observe.Tracer(capacity=args.capacity)
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"{args.system}_{args.algorithm}_{args.dataset}"
+    if args.steal_policy != "random":
+        stem += f"_{args.steal_policy}"
+    sink = None
+    if args.sink == "file":
+        sink = observe.FileSink(out_dir / f"{stem}.events.jsonl")
+    tracer = observe.Tracer(capacity=args.capacity, sink=sink)
     print(f"dataset {args.dataset}: {graph}")
     result = runtime.run(
         args.system,
@@ -140,11 +191,6 @@ def _run_trace(args) -> int:
     )
     _print_result(result)
 
-    out_dir = Path(args.out)
-    out_dir.mkdir(parents=True, exist_ok=True)
-    stem = f"{args.system}_{args.algorithm}_{args.dataset}"
-    if args.steal_policy != "random":
-        stem += f"_{args.steal_policy}"
     trace_path = out_dir / f"{stem}.trace.json"
     metrics_path = out_dir / f"{stem}.metrics.json"
     observe.write_chrome_trace(
@@ -174,9 +220,41 @@ def _run_trace(args) -> int:
         converged=result.converged,
     )
     print(f"\ntrace:   {trace_path}  (open in https://ui.perfetto.dev)")
+    if sink is not None:
+        print(f"events:  {sink.path}  ({sink.count} events, none dropped)")
     print(f"metrics: {metrics_path}")
     print("\nwhere the cycles went (by span):")
     print(observe.flame_summary(tracer))
+    if sink is not None:
+        sink.close()
+    return 0
+
+
+def _run_serve_bench(args) -> int:
+    """The ``serve-bench`` subcommand: exercise ``repro.serve``."""
+    from .serve.bench import BenchConfig, run_bench, write_artifacts
+
+    config = BenchConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        slots=args.slots,
+        system=args.system,
+        cores=args.cores,
+        algorithms=tuple(
+            name.strip() for name in args.algorithms.split(",") if name.strip()
+        ),
+        verify_cold=not args.no_verify,
+        out_dir=args.out,
+    )
+    table, service, verification = run_bench(config)
+    table.print()
+    table_path, metrics_path = write_artifacts(table, service, config)
+    print(f"\ntable:   {table_path}")
+    print(f"metrics: {metrics_path}")
+    if verification.warm_runs and not verification.states_match:
+        print("WARNING: warm/cold state mismatch detected")
+        return 1
     return 0
 
 
@@ -203,6 +281,8 @@ def main(argv=None) -> int:
         return 0
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "serve-bench":
+        return _run_serve_bench(args)
 
     graph = datasets.load(args.dataset, scale=args.scale)
     algorithm = algorithms.make(args.algorithm)

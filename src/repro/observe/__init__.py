@@ -8,7 +8,9 @@ can be located, not just totaled:
   simulated-cycle timeline, exported as Chrome ``trace_event`` JSON
   (loads in Perfetto / ``chrome://tracing``).  Off by default via the
   :class:`NullTracer` null object, so instrumented hot loops pay ~one
-  attribute check (``if tracer.enabled:``).
+  attribute check (``if tracer.enabled:``).  Attach a :class:`FileSink`
+  to stream every event to a JSONL file instead of the ring — full-run
+  captures that never drop the start (``trace --sink file``).
 * :class:`MetricRegistry` — lazily-created counters and power-of-two
   histograms (cache hits by level, NoC hops, DRAM queueing, DDMU
   resolution counts, per-round activity), flattened into
@@ -30,6 +32,7 @@ from .export import (
     write_chrome_trace,
 )
 from .metrics import Histogram, MetricRegistry
+from .sinks import FileSink
 from .tracer import (
     DEFAULT_CAPACITY,
     NULL_TRACER,
@@ -45,6 +48,7 @@ __all__ = [
     "DEFAULT_CAPACITY",
     "NULL_TRACER",
     "SCHEDULER_TRACK",
+    "FileSink",
     "Histogram",
     "MetricRegistry",
     "NullTracer",

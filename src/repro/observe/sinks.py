@@ -1,0 +1,83 @@
+"""Streaming trace sinks: full captures that outlive the ring buffer.
+
+The default :class:`repro.observe.Tracer` keeps events in a bounded ring
+buffer, so a run bigger than the capacity silently loses its *start* —
+exactly the part a profiler usually wants (ROADMAP open item).  A
+:class:`FileSink` streams every event to disk as it is recorded instead:
+memory stays O(1), nothing is dropped, and the export path reads the
+events back off the file, so ``write_chrome_trace`` / ``flame_summary``
+work unchanged on a sinked tracer.
+
+Events are stored one JSON array per line (``[phase, name, cat, ts, dur,
+track, args]``) — trivially greppable and append-only, so a crashed run
+still leaves a readable prefix.
+
+Select it from the CLI with ``python -m repro trace ... --sink file``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Optional
+
+from .tracer import Event
+
+
+class FileSink:
+    """Append-only JSONL event store for a :class:`Tracer`.
+
+    The sink keeps the file handle open for streaming writes;
+    :meth:`events` flushes and re-reads from the start, so exports can
+    run while the sink stays attached.  Use as a context manager (or
+    call :meth:`close`) to release the handle.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        #: events written so far
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    def write(self, event: Event) -> None:
+        phase, name, cat, ts, dur, track, args = event
+        json.dump(
+            [phase, name, cat, ts, dur, track, args],
+            self._fh,
+            separators=(",", ":"),
+        )
+        self._fh.write("\n")
+        self.count += 1
+
+    def flush(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    # ------------------------------------------------------------------
+    def events(self) -> Iterator[Event]:
+        """Replay every recorded event, oldest first."""
+        self.flush()
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                phase, name, cat, ts, dur, track, args = json.loads(line)
+                yield (phase, name, cat, ts, dur, int(track), args)
+
+    def __len__(self) -> int:
+        return self.count
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FileSink":
+        return self
+
+    def __exit__(self, *exc) -> Optional[bool]:
+        self.close()
+        return None

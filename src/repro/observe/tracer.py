@@ -92,17 +92,25 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, sink=None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._events: Deque[Event] = deque(maxlen=capacity)
         self._track_names: Dict[int, str] = {}
-        #: events evicted from the ring buffer (oldest-first)
+        #: events evicted from the ring buffer (oldest-first); stays 0
+        #: when a sink is attached — streamed events are never dropped
         self.dropped = 0
+        #: optional streaming sink (e.g. ``repro.observe.FileSink``); when
+        #: set, every event goes straight to the sink instead of the ring,
+        #: so captures of any length keep their start
+        self.sink = sink
 
     # ------------------------------------------------------------------
     def _push(self, event: Event) -> None:
+        if self.sink is not None:
+            self.sink.write(event)
+            return
         if len(self._events) == self.capacity:
             self.dropped += 1
         self._events.append(event)
@@ -145,10 +153,15 @@ class Tracer:
         return dict(self._track_names)
 
     def events(self) -> Iterable[Event]:
-        """The recorded events, oldest first."""
+        """The recorded events, oldest first (replayed from the sink when
+        one is attached)."""
+        if self.sink is not None:
+            return self.sink.events()
         return iter(self._events)
 
     def __len__(self) -> int:
+        if self.sink is not None:
+            return len(self.sink)
         return len(self._events)
 
     def clear(self) -> None:

@@ -12,12 +12,14 @@ from .registry import (
 )
 from .roundbased import POLICIES, RoundPolicy, run_roundbased
 from .scheduling import (
+    AUTO_POLICY,
     PARTITION_POLICY,
     RANDOM_POLICY,
     STEAL_POLICIES,
     CostEstimator,
     SchedulingPolicy,
     VictimRanker,
+    resolve_auto_policy,
 )
 from .stats import ExecutionResult, RoundLog
 
@@ -28,6 +30,8 @@ __all__ = [
     "STEAL_POLICIES",
     "RANDOM_POLICY",
     "PARTITION_POLICY",
+    "AUTO_POLICY",
+    "resolve_auto_policy",
     "SimContext",
     "DepGraphOptions",
     "run_depgraph",

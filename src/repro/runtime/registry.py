@@ -68,18 +68,22 @@ def run(
 ) -> ExecutionResult:
     """Run ``algorithm`` over ``graph`` under the named system.
 
-    Scheduling keywords (``steal_policy="random"|"partition"``,
+    Scheduling keywords (``steal_policy="random"|"partition"|"auto"``,
     ``rebalance_skew``, ``hop_penalty_cycles``) are understood by every
-    system and routed to :class:`repro.runtime.SchedulingPolicy`; the
-    remaining ``options`` are forwarded to :class:`DepGraphOptions` for
-    the DepGraph variants (e.g. ``lam=0.01, stack_depth=20,
-    ddmu_mode="learned"``) and ignored elsewhere.  ``tracer`` (a
-    :class:`repro.observe.Tracer`) enables structured event tracing for
-    this run; the default is the process-wide tracer, a no-op unless
-    ``repro.observe.tracing`` is active.
+    system and routed to :class:`repro.runtime.SchedulingPolicy` —
+    ``auto`` is the documented recommendation and resolves per
+    ``(system, graph)`` (``random`` for Minnow on hub-dominated graphs
+    like GL, ``partition`` everywhere else; see
+    ``results/sched_compare.txt``); the remaining ``options`` are
+    forwarded to :class:`DepGraphOptions` for the DepGraph variants
+    (e.g. ``lam=0.01, stack_depth=20, ddmu_mode="learned"``) and ignored
+    elsewhere.  ``tracer`` (a :class:`repro.observe.Tracer`) enables
+    structured event tracing for this run; the default is the
+    process-wide tracer, a no-op unless ``repro.observe.tracing`` is
+    active.
     """
     hw = hardware or HardwareConfig.scaled()
-    sched = pop_scheduling_options(options)
+    sched = pop_scheduling_options(options).resolved(system, graph)
     if system == "sequential":
         return run_sequential(
             graph, algorithm, hw, max_rounds=max_rounds, tracer=tracer, sched=sched

@@ -1,0 +1,61 @@
+"""``repro.serve``: a versioned graph service over the runtime registry.
+
+The serving subsystem closes the loop the ROADMAP north star asks for —
+ingesting graph updates and answering queries continuously instead of
+one cold batch run per CLI invocation:
+
+* :class:`GraphStore` — append-only chain of versioned CSR snapshots
+  built from :mod:`repro.graph.mutation` deltas; snapshot-isolated reads.
+* :class:`QueryEngine` — ``(algorithm, version, params)`` execution with
+  warm-start incremental recomputation (the paper's Figure 10 delta
+  regime): seeded from the previous version's converged states so only
+  dependency-affected vertices reconverge.
+* :class:`Batcher` / :class:`ResultCache` — single-flight coalescing of
+  identical queries plus a version-keyed LRU over completed runs.
+* :class:`GraphService` — admission control (bounded queue, deterministic
+  reject-new shed, per-request deadlines in simulated cycles), metrics
+  under ``obs.serve.*``.
+* ``python -m repro serve-bench`` — the seeded replay harness
+  (:mod:`repro.serve.bench`).
+
+See ``docs/SERVING.md`` for the architecture, warm-start soundness
+rules, and the counter glossary.
+"""
+
+from .batching import Batcher, ResultCache
+from .engine import EngineRun, QueryEngine, QueryKey, canonical_params
+from .service import (
+    CACHE_HIT_CYCLES,
+    STATUS_OK,
+    STATUS_SHED_DEADLINE,
+    STATUS_SHED_QUEUE,
+    GraphService,
+    ServeConfig,
+    ServeRequest,
+    ServeResponse,
+)
+from .store import GraphDelta, GraphStore, GraphVersion
+from .warmstart import WarmStartAlgorithm, WarmStartPlan, plan_warm_start
+
+__all__ = [
+    "Batcher",
+    "CACHE_HIT_CYCLES",
+    "EngineRun",
+    "GraphDelta",
+    "GraphService",
+    "GraphStore",
+    "GraphVersion",
+    "QueryEngine",
+    "QueryKey",
+    "ResultCache",
+    "STATUS_OK",
+    "STATUS_SHED_DEADLINE",
+    "STATUS_SHED_QUEUE",
+    "ServeConfig",
+    "ServeRequest",
+    "ServeResponse",
+    "WarmStartAlgorithm",
+    "WarmStartPlan",
+    "canonical_params",
+    "plan_warm_start",
+]

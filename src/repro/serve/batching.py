@@ -1,0 +1,121 @@
+"""Request coalescing and result caching for the serving layer.
+
+Heavy query traffic against a slowly-changing graph is dominated by
+duplicates: many clients asking the same ``(algorithm, version, params)``
+question.  Two mechanisms collapse that duplication before it reaches the
+engine:
+
+* :class:`Batcher` groups *pending* requests by :class:`QueryKey` so one
+  engine run answers every request in the group (single-flight
+  coalescing).  Batches dispatch in FIFO order of first arrival, which
+  keeps the service deterministic and starvation-free.
+* :class:`ResultCache` is a bounded LRU over *completed* runs keyed by
+  the same ``QueryKey``.  Because the graph version is part of the key,
+  advancing the version naturally invalidates the cache for
+  latest-version queries while snapshot-pinned queries against old
+  versions keep hitting — exactly the snapshot-isolation contract of
+  :class:`repro.serve.store.GraphStore`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Generic, List, Optional, Tuple, TypeVar
+
+from .engine import QueryKey
+
+T = TypeVar("T")
+
+
+class ResultCache(Generic[T]):
+    """A deterministic bounded LRU cache."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[QueryKey, T]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: QueryKey) -> Optional[T]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: QueryKey, value: T) -> None:
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate_before(self, version: int) -> int:
+        """Drop entries for versions older than ``version`` (optional
+        eager reclamation; version-keyed misses already guarantee
+        freshness for latest-version queries)."""
+        doomed = [key for key in self._entries if key.version < version]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: QueryKey) -> bool:
+        return key in self._entries
+
+
+class Batcher(Generic[T]):
+    """Coalesces pending requests by :class:`QueryKey`, FIFO by first
+    arrival.
+
+    ``add`` files a request under its key; ``next_batch`` pops the oldest
+    key together with *every* request accumulated for it — all of them
+    are answered by the single engine run the caller performs.
+    """
+
+    def __init__(self) -> None:
+        self._order: List[QueryKey] = []
+        self._groups: Dict[QueryKey, List[T]] = {}
+        self._pending = 0
+
+    def add(self, key: QueryKey, request: T) -> int:
+        """File ``request``; returns the group size after insertion."""
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = []
+            self._order.append(key)
+        group.append(request)
+        self._pending += 1
+        return len(group)
+
+    def next_batch(self) -> Optional[Tuple[QueryKey, List[T]]]:
+        """Pop the oldest pending group, or ``None`` when drained."""
+        if not self._order:
+            return None
+        key = self._order.pop(0)
+        group = self._groups.pop(key)
+        self._pending -= len(group)
+        return key, group
+
+    def __len__(self) -> int:
+        """Pending *requests* (not groups) — the admission-control depth."""
+        return self._pending
+
+    @property
+    def groups(self) -> int:
+        return len(self._order)

@@ -1,0 +1,171 @@
+"""The query engine: ``(algorithm, version, params) -> converged states``.
+
+One :class:`QueryEngine` owns the bridge between the version chain and
+the runtime registry.  Every execution goes through
+:func:`repro.runtime.run` on the queried version's snapshot; what the
+engine adds is *warm-start bookkeeping*: it remembers the last converged
+states per ``(algorithm, params)`` lineage and, when the same query
+arrives for a later version, seeds the run through
+:mod:`repro.serve.warmstart` so only dependency-affected vertices
+reconverge — the paper's Figure 10 delta regime, measured here as
+``EngineRun.result.total_updates`` (warm runs should report far fewer
+than cold ones for small deltas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .. import algorithms as algorithms_mod
+from ..hardware.config import HardwareConfig
+from ..runtime import run as run_system
+from ..runtime.stats import ExecutionResult
+from .store import GraphStore
+from .warmstart import FALLBACK_NO_BASELINE, FALLBACK_OK, plan_warm_start
+
+#: params are canonicalised to a sorted item tuple so dict ordering never
+#: splits cache/batch keys
+ParamsKey = Tuple[Tuple[str, object], ...]
+
+
+def canonical_params(params: Optional[dict]) -> ParamsKey:
+    """A hashable, order-insensitive form of an algorithm kwargs dict."""
+    if not params:
+        return ()
+    return tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class QueryKey:
+    """Identity of one answerable query — the cache/batch coalescing key."""
+
+    algorithm: str
+    params: ParamsKey
+    version: int
+
+    def label(self) -> str:
+        params = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.algorithm}({params})@v{self.version}"
+
+
+@dataclass
+class EngineRun:
+    """One engine execution and how it was started."""
+
+    key: QueryKey
+    result: ExecutionResult
+    warm: bool
+    #: why a warm start was not used ("" when it was)
+    fallback_reason: str
+    #: vertices the warm seed activated (0 for cold runs)
+    seeded: int
+
+    @property
+    def updates(self) -> int:
+        return self.result.total_updates
+
+    @property
+    def cycles(self) -> float:
+        return self.result.cycles
+
+
+class QueryEngine:
+    """Executes queries against store snapshots through the registry.
+
+    ``warm=True`` (the default) enables incremental recomputation: after
+    a converged run the final states are retained per
+    ``(algorithm, params)`` and used to seed the next run of the same
+    query lineage at a newer version.  Retention is deliberately
+    last-write-wins per lineage — the store keeps every snapshot, the
+    engine only needs one baseline to move forward from.
+    """
+
+    def __init__(
+        self,
+        store: GraphStore,
+        system: str = "depgraph-h",
+        hardware: Optional[HardwareConfig] = None,
+        warm: bool = True,
+        max_rounds: int = 4000,
+        **run_options,
+    ) -> None:
+        self.store = store
+        self.system = system
+        self.hardware = hardware or HardwareConfig.scaled(num_cores=8)
+        self.warm = warm
+        self.max_rounds = max_rounds
+        self.run_options = dict(run_options)
+        #: (algorithm, params) -> (version, converged states)
+        self._baselines: Dict[Tuple[str, ParamsKey], Tuple[int, np.ndarray]] = {}
+        self.runs = 0
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        algorithm: str,
+        params: Optional[dict] = None,
+        version: Optional[int] = None,
+        force_cold: bool = False,
+    ) -> EngineRun:
+        """Run one query; warm-starts when sound, falls back cold."""
+        resolved = self.store.latest_version if version is None else version
+        key = QueryKey(algorithm, canonical_params(params), resolved)
+        snapshot = self.store.get(resolved)
+        algo = algorithms_mod.make(algorithm, **dict(key.params))
+
+        warm = False
+        seeded = 0
+        reason = FALLBACK_NO_BASELINE
+        run_algo = algo
+        if self.warm and not force_cold:
+            baseline = self._baselines.get((key.algorithm, key.params))
+            if baseline is not None and baseline[0] <= resolved:
+                base_version, base_states = baseline
+                plan, reason = plan_warm_start(
+                    algo,
+                    self.store.get(base_version).graph,
+                    snapshot.graph,
+                    self.store.chain(base_version, resolved),
+                    base_states,
+                )
+                if plan is not None:
+                    run_algo = plan.make_algorithm(algo)
+                    warm = True
+                    seeded = plan.seeded
+                    reason = FALLBACK_OK
+
+        result = run_system(
+            self.system,
+            snapshot.graph,
+            run_algo,
+            self.hardware,
+            max_rounds=self.max_rounds,
+            **dict(self.run_options),
+        )
+        self.runs += 1
+        if result.converged:
+            states = np.asarray(result.states, dtype=np.float64)
+            states.setflags(write=False)
+            self._baselines[(key.algorithm, key.params)] = (resolved, states)
+        return EngineRun(
+            key=key,
+            result=result,
+            warm=warm,
+            fallback_reason="" if warm else reason,
+            seeded=seeded,
+        )
+
+    # ------------------------------------------------------------------
+    def baseline_version(
+        self, algorithm: str, params: Optional[dict] = None
+    ) -> Optional[int]:
+        """Version of the retained converged baseline for a lineage."""
+        entry = self._baselines.get((algorithm, canonical_params(params)))
+        return None if entry is None else entry[0]
+
+    def drop_baselines(self) -> None:
+        """Forget all warm-start baselines (every next run starts cold)."""
+        self._baselines.clear()

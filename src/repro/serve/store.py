@@ -1,0 +1,213 @@
+"""Versioned graph storage: an append-only chain of CSR snapshots.
+
+The paper's headline workload is *incremental* computation on a changing
+graph (Figure 10's delta regime), and the ROADMAP north star is a system
+that keeps answering queries while the graph evolves.  CSR is immutable,
+so a "mutable" served graph is a chain of immutable snapshots: every
+:class:`GraphDelta` applied through :class:`GraphStore` materialises a new
+:class:`CSRGraph` via :mod:`repro.graph.mutation` and appends a
+:class:`GraphVersion` that remembers the delta which produced it.
+
+Snapshot isolation falls out of immutability: a reader holding version
+``k`` keeps seeing exactly version ``k``'s CSR arrays no matter how many
+updates land afterwards.  The recorded delta chain is what makes
+*warm-start* recomputation possible — :mod:`repro.serve.warmstart` walks
+the chain between a query's version and the version a previous converged
+answer was computed at, and seeds the run so only dependency-affected
+vertices reconverge.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..graph import mutation
+from ..graph.csr import CSRGraph
+
+Edge = Tuple[int, int]
+
+
+def _edge_tuple(edges) -> Tuple[Edge, ...]:
+    return tuple((int(s), int(t)) for s, t in edges)
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One batch of graph mutations, applied atomically as a new version.
+
+    Application order within one delta: ``add_vertices`` first (so added
+    edges may reference the new ids), then ``add_edges``, ``remove_edges``,
+    and finally ``reweight`` — the same order :class:`GraphStore.apply`
+    materialises.
+    """
+
+    add_edges: Tuple[Edge, ...] = ()
+    #: weights aligned with ``add_edges`` (None -> mutation default)
+    add_weights: Optional[Tuple[float, ...]] = None
+    remove_edges: Tuple[Edge, ...] = ()
+    #: (source, target, new_weight) triples
+    reweight: Tuple[Tuple[int, int, float], ...] = ()
+    add_vertices: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "add_edges", _edge_tuple(self.add_edges))
+        object.__setattr__(self, "remove_edges", _edge_tuple(self.remove_edges))
+        object.__setattr__(
+            self,
+            "reweight",
+            tuple((int(s), int(t), float(w)) for s, t, w in self.reweight),
+        )
+        if self.add_weights is not None:
+            object.__setattr__(
+                self, "add_weights", tuple(float(w) for w in self.add_weights)
+            )
+            if len(self.add_weights) != len(self.add_edges):
+                raise ValueError("add_weights must align with add_edges")
+        if self.add_vertices < 0:
+            raise ValueError("add_vertices must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.add_edges or self.remove_edges or self.reweight or self.add_vertices
+        )
+
+    @property
+    def has_removals(self) -> bool:
+        return bool(self.remove_edges)
+
+    @property
+    def num_changes(self) -> int:
+        return (
+            len(self.add_edges)
+            + len(self.remove_edges)
+            + len(self.reweight)
+            + self.add_vertices
+        )
+
+    def touched_sources(self) -> Set[int]:
+        """Vertices whose *out-edge segment* this delta may change."""
+        touched = {s for s, _ in self.add_edges}
+        touched.update(s for s, _ in self.remove_edges)
+        touched.update(s for s, _, _ in self.reweight)
+        return touched
+
+    def changed_pairs(self) -> Set[Edge]:
+        """Edges this delta adds or reweights (the warm-seed frontier)."""
+        pairs = set(self.add_edges)
+        pairs.update((s, t) for s, t, _ in self.reweight)
+        return pairs
+
+    def describe(self) -> str:
+        parts = []
+        if self.add_vertices:
+            parts.append(f"+{self.add_vertices}v")
+        if self.add_edges:
+            parts.append(f"+{len(self.add_edges)}e")
+        if self.remove_edges:
+            parts.append(f"-{len(self.remove_edges)}e")
+        if self.reweight:
+            parts.append(f"~{len(self.reweight)}w")
+        return ",".join(parts) if parts else "noop"
+
+
+@dataclass(frozen=True)
+class GraphVersion:
+    """One immutable snapshot in the version chain."""
+
+    version: int
+    graph: CSRGraph
+    #: the delta that produced this version from its parent (None for v0)
+    delta: Optional[GraphDelta] = None
+    parent: Optional[int] = None
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphVersion(v{self.version}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges})"
+        )
+
+
+@dataclass
+class _StoreState:
+    versions: List[GraphVersion] = field(default_factory=list)
+
+
+class GraphStore:
+    """Append-only chain of versioned CSR snapshots with isolated reads.
+
+    Writers call :meth:`apply` (serialised under a lock — version ids are
+    assigned in application order); readers call :meth:`get` /
+    :attr:`latest` and may hold the returned :class:`GraphVersion` for as
+    long as they like — snapshots are immutable, so reads never block and
+    never observe a half-applied update.
+    """
+
+    def __init__(self, base: CSRGraph) -> None:
+        self._lock = threading.Lock()
+        self._versions: List[GraphVersion] = [GraphVersion(0, base)]
+
+    # ------------------------------------------------------------------
+    @property
+    def latest(self) -> GraphVersion:
+        return self._versions[-1]
+
+    @property
+    def latest_version(self) -> int:
+        return self._versions[-1].version
+
+    def get(self, version: int) -> GraphVersion:
+        if not 0 <= version < len(self._versions):
+            raise KeyError(
+                f"unknown graph version {version}; have 0..{len(self._versions) - 1}"
+            )
+        return self._versions[version]
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def versions(self) -> Tuple[GraphVersion, ...]:
+        return tuple(self._versions)
+
+    # ------------------------------------------------------------------
+    def apply(self, delta: GraphDelta) -> GraphVersion:
+        """Materialise ``delta`` on the latest snapshot as a new version."""
+        with self._lock:
+            parent = self._versions[-1]
+            graph = parent.graph
+            if delta.add_vertices:
+                graph = mutation.add_vertices(graph, delta.add_vertices)
+            if delta.add_edges:
+                graph = mutation.add_edges(
+                    graph, delta.add_edges, weights=delta.add_weights
+                )
+            if delta.remove_edges:
+                graph = mutation.remove_edges(graph, delta.remove_edges)
+            for source, target, weight in delta.reweight:
+                graph = mutation.reweight_edge(graph, source, target, weight)
+            version = GraphVersion(
+                parent.version + 1, graph, delta=delta, parent=parent.version
+            )
+            self._versions.append(version)
+            return version
+
+    # ------------------------------------------------------------------
+    def chain(self, start: int, end: int) -> Sequence[GraphDelta]:
+        """The deltas that evolve version ``start`` into version ``end``."""
+        if start > end:
+            raise ValueError("chain requires start <= end")
+        self.get(start), self.get(end)  # bounds check
+        return tuple(
+            self._versions[v].delta for v in range(start + 1, end + 1)
+        )

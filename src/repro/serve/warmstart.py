@@ -1,0 +1,307 @@
+"""Warm-start seeding: reconverge only dependency-affected vertices.
+
+This is the paper's Figure 10 delta regime made operational: instead of
+recomputing an algorithm from its cold initial state after every graph
+update, a warm run is *seeded* from the previous version's converged
+states plus a sparse set of corrective deltas derived from the delta
+chain, so the engine only touches vertices whose fixpoint actually moved.
+
+Soundness rules (documented in ``docs/SERVING.md``):
+
+* **Sum-type accumulators** (pagerank, adsorption, katz) warm-start for
+  *any* mutation.  At convergence the influence transmitted over an edge
+  ``<u, t>`` equals ``EdgeCompute(u, state[u])`` (Property 2 linearity
+  with zero offset), so the residual of the new fixpoint equation is
+  nonzero only at out-neighbours of *touched* sources — vertices whose
+  out-edge segment (and hence edge coefficients, e.g. pagerank's
+  ``d / out_degree``) changed.  Removals simply produce negative
+  residuals, which the delta-accumulative engine propagates like any
+  other.  Warm states agree with a cold recompute to the established
+  threshold tolerance (both are epsilon-approximate fixpoints).
+* **Min/max accumulators** (sssp, bfs, wcc, sswp) warm-start only for
+  *improving* chains: edge additions, new vertices, and reweights whose
+  new influence accumulates over the old one (shorter for min, wider for
+  max).  The converged states then remain valid bounds and seeding the
+  changed edges' influence reconverges exactly — final states are
+  bit-identical to a cold run.  A removal (or worsening reweight) can
+  invalidate converged states, which an idempotent accumulator cannot
+  walk back, so those chains fall back to a cold run.
+* Algorithms that break Property 2 (``transformable = False``, e.g.
+  k-core's threshold crossing) always fall back cold.
+
+The fallback is never an error: the engine reports the reason through
+``obs.serve.warm_fallbacks`` and runs cold, which is always sound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..algorithms.base import Algorithm
+from ..algorithms.detect import AccumKind, detect_accum_kind
+from ..graph.csr import CSRGraph
+from .store import GraphDelta
+
+#: fallback reason codes surfaced in metrics / responses
+FALLBACK_OK = ""
+FALLBACK_UNSUPPORTED = "unsupported-accum"
+FALLBACK_UNTRANSFORMABLE = "untransformable"
+FALLBACK_REMOVAL = "non-monotone-removal"
+FALLBACK_REWEIGHT = "non-monotone-reweight"
+FALLBACK_NO_BASELINE = "no-baseline"
+
+
+@dataclass
+class WarmStartPlan:
+    """Seed arrays for a warm run on the target graph."""
+
+    states: List[float]
+    deltas: List[float]
+    #: vertices whose seed delta is significant (the warm frontier)
+    seeded: int
+
+    def make_algorithm(self, inner: Algorithm) -> "WarmStartAlgorithm":
+        return WarmStartAlgorithm(inner, self.states, self.deltas)
+
+
+class WarmStartAlgorithm:
+    """Delegating wrapper that replaces an algorithm's initialisation.
+
+    Every runtime initialises vertex state through
+    ``algorithm.initial_state`` / ``initial_delta`` / ``initial_active``,
+    so swapping those three is sufficient to warm-start *any* system in
+    the registry; everything else (accum, edge_compute, linearity,
+    ``needs_weights`` / ``needs_symmetric`` flags...) delegates to the
+    wrapped algorithm untouched.
+    """
+
+    def __init__(
+        self, inner: Algorithm, states: Sequence[float], deltas: Sequence[float]
+    ) -> None:
+        self._inner = inner
+        self._states = states
+        self._deltas = deltas
+
+    def __getattr__(self, attr):
+        return getattr(self._inner, attr)
+
+    def initial_state(self, v: int, graph: CSRGraph) -> float:
+        states = self._states
+        if v < len(states):
+            return states[v]
+        return self._inner.initial_state(v, graph)
+
+    def initial_delta(self, v: int, graph: CSRGraph) -> float:
+        deltas = self._deltas
+        if v < len(deltas):
+            return deltas[v]
+        return self._inner.initial_delta(v, graph)
+
+    def initial_active(self, v: int, graph: CSRGraph) -> bool:
+        return self._inner.is_significant(
+            self.initial_delta(v, graph), self.initial_state(v, graph)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WarmStartAlgorithm({self._inner!r})"
+
+
+# ----------------------------------------------------------------------
+def _out_edges(graph: CSRGraph, vertex: int):
+    """(target, weight) pairs of one CSR out-segment."""
+    begin, end = graph.edge_range(vertex)
+    targets = graph.targets
+    if graph.is_weighted:
+        weights = graph.weights
+        return [(int(targets[e]), float(weights[e])) for e in range(begin, end)]
+    return [(int(targets[e]), 1.0) for e in range(begin, end)]
+
+
+def _edge_weight(graph: CSRGraph, source: int, target: int) -> Optional[float]:
+    """Weight of ``<source, target>`` in ``graph`` (None when absent)."""
+    for t, w in _out_edges(graph, source):
+        if t == target:
+            return w
+    return None
+
+
+def _collect_chain(
+    chain: Sequence[GraphDelta],
+) -> Tuple[Set[int], Set[Tuple[int, int]], bool, Set[Tuple[int, int]]]:
+    """Fold a delta chain into (touched sources, changed pairs,
+    has_removals, reweighted pairs)."""
+    touched: Set[int] = set()
+    pairs: Set[Tuple[int, int]] = set()
+    reweighted: Set[Tuple[int, int]] = set()
+    has_removals = False
+    for delta in chain:
+        touched |= delta.touched_sources()
+        pairs |= delta.changed_pairs()
+        reweighted.update((s, t) for s, t, _ in delta.reweight)
+        has_removals = has_removals or delta.has_removals
+    return touched, pairs, has_removals, reweighted
+
+
+def plan_warm_start(
+    algorithm: Algorithm,
+    base_graph: CSRGraph,
+    target_graph: CSRGraph,
+    chain: Sequence[GraphDelta],
+    prev_states: Sequence[float],
+) -> Tuple[Optional[WarmStartPlan], str]:
+    """Build a warm-start seed, or ``(None, reason)`` when unsound.
+
+    ``prev_states`` must be the converged states of ``algorithm`` on
+    ``base_graph``; ``chain`` the deltas evolving ``base_graph`` into
+    ``target_graph`` (see :meth:`GraphStore.chain`).
+    """
+    kind = detect_accum_kind(algorithm)
+    if kind is AccumKind.UNSUPPORTED:
+        return None, FALLBACK_UNSUPPORTED
+    if len(prev_states) != base_graph.num_vertices:
+        return None, FALLBACK_NO_BASELINE
+
+    touched, pairs, has_removals, reweighted = _collect_chain(chain)
+    n_old = base_graph.num_vertices
+    n_new = target_graph.num_vertices
+    identity = algorithm.identity()
+
+    # Seed arrays: carried states + identity deltas for surviving vertices,
+    # the algorithm's own cold initialisation for appended vertices (their
+    # fixpoint contribution propagates through the warm run itself).
+    states = [float(s) for s in prev_states]
+    states += [
+        algorithm.initial_state(v, target_graph) for v in range(n_old, n_new)
+    ]
+    deltas = [identity] * n_old
+    deltas += [
+        algorithm.initial_delta(v, target_graph) for v in range(n_old, n_new)
+    ]
+
+    if kind is AccumKind.SUM:
+        if getattr(algorithm, "needs_symmetric", False):
+            # The residual decomposition below is computed on the directed
+            # graph; a sum-type algorithm the runtimes symmetrise would need
+            # transpose bookkeeping we don't carry.  (No such algorithm is
+            # registered today — k-core is caught by transformable below.)
+            return None, FALLBACK_UNSUPPORTED
+        if not algorithm.transformable:
+            # e.g. k-core: the scattered value is a threshold crossing, not
+            # a linear function of the delta — the residual decomposition
+            # below would be wrong, so recompute cold.
+            return None, FALLBACK_UNTRANSFORMABLE
+        _seed_sum_residuals(
+            algorithm, base_graph, target_graph, touched, prev_states, deltas
+        )
+    else:
+        if has_removals:
+            return None, FALLBACK_REMOVAL
+        if not _reweights_improving(
+            algorithm, base_graph, target_graph, reweighted, prev_states
+        ):
+            return None, FALLBACK_REWEIGHT
+        _seed_monotone_influence(
+            algorithm, target_graph, pairs, states, deltas
+        )
+
+    seeded = sum(
+        1
+        for v in range(n_new)
+        if algorithm.is_significant(deltas[v], states[v])
+    )
+    return WarmStartPlan(states, deltas, seeded), FALLBACK_OK
+
+
+# ----------------------------------------------------------------------
+def _seed_sum_residuals(
+    algorithm: Algorithm,
+    base_graph: CSRGraph,
+    target_graph: CSRGraph,
+    touched: Set[int],
+    prev_states: Sequence[float],
+    deltas: List[float],
+) -> None:
+    """Sum-type residuals: for every touched source, retract its old
+    transmitted influence and assert the new one.
+
+    Contributions of untouched sources cancel exactly (same state, same
+    edge coefficients on both sides), so only out-neighbours of touched
+    sources receive a nonzero residual.  Sources appended by the chain
+    (``u >= n_old``) have no converged influence to retract and their
+    forward influence propagates through their own seeded cold delta.
+    """
+    n_old = base_graph.num_vertices
+    residual: Dict[int, float] = {}
+    for u in sorted(touched):
+        if u >= n_old:
+            continue
+        su = float(prev_states[u])
+        for t, w in _out_edges(base_graph, u):
+            residual[t] = residual.get(t, 0.0) - algorithm.edge_compute(
+                u, su, w, base_graph
+            )
+        for t, w in _out_edges(target_graph, u):
+            residual[t] = residual.get(t, 0.0) + algorithm.edge_compute(
+                u, su, w, target_graph
+            )
+    for t in sorted(residual):
+        deltas[t] = algorithm.accum(deltas[t], residual[t])
+
+
+def _reweights_improving(
+    algorithm: Algorithm,
+    base_graph: CSRGraph,
+    target_graph: CSRGraph,
+    reweighted: Set[Tuple[int, int]],
+    prev_states: Sequence[float],
+) -> bool:
+    """Whether every reweight only *improves* the edge's influence under
+    the idempotent accumulator (new folds over old to new)."""
+    n_old = base_graph.num_vertices
+    for source, target in sorted(reweighted):
+        if source >= n_old:
+            continue  # edge born inside the chain: treated as an addition
+        old_w = _edge_weight(base_graph, source, target)
+        new_w = _edge_weight(target_graph, source, target)
+        if old_w is None or new_w is None:
+            continue  # added within the chain / removed (caught elsewhere)
+        value = float(prev_states[source])
+        old_inf = algorithm.edge_compute(source, value, old_w, base_graph)
+        new_inf = algorithm.edge_compute(source, value, new_w, target_graph)
+        if algorithm.accum(new_inf, old_inf) != new_inf:
+            return False
+    return True
+
+
+def _seed_monotone_influence(
+    algorithm: Algorithm,
+    target_graph: CSRGraph,
+    pairs: Set[Tuple[int, int]],
+    states: List[float],
+    deltas: List[float],
+) -> None:
+    """Min/max seeding: fold each changed edge's influence (computed from
+    the carried source state) into the target's pending delta.
+
+    For ``needs_symmetric`` algorithms (wcc, k-core) the runtimes process
+    the symmetrised graph, so each changed pair also seeds the reverse
+    direction — a new edge lets labels flood both ways.
+    """
+    symmetric = getattr(algorithm, "needs_symmetric", False)
+    for source, target in sorted(pairs):
+        weight = _edge_weight(target_graph, source, target)
+        if weight is None:
+            continue  # pair no longer present (chain removed it)
+        influence = algorithm.edge_compute(
+            source, states[source], weight, target_graph
+        )
+        if not math.isnan(influence):
+            deltas[target] = algorithm.accum(deltas[target], influence)
+        if symmetric:
+            back = algorithm.edge_compute(
+                target, states[target], weight, target_graph
+            )
+            if not math.isnan(back):
+                deltas[source] = algorithm.accum(deltas[source], back)

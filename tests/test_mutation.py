@@ -1,0 +1,139 @@
+"""Direct unit tests for the incremental mutation helpers.
+
+``repro.graph.mutation`` was previously exercised only indirectly (the
+fig10 incremental experiment and the serve layer); these tests pin its
+contract directly: dedup on add, silent-ignore on missing removal,
+isolated-vertex append, single-edge reweight, and the out-of-range /
+misalignment error cases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import mutation
+from repro.graph.csr import CSRGraph
+
+
+def small_graph(weighted=False):
+    edges = [(0, 1), (0, 2), (1, 2), (2, 0), (3, 1)]
+    weights = [1.0, 2.0, 3.0, 4.0, 5.0] if weighted else None
+    return CSRGraph.from_edges(4, edges, weights=weights)
+
+
+class TestAddEdges:
+    def test_adds_new_edges(self):
+        g = mutation.add_edges(small_graph(), [(1, 0), (3, 2)])
+        assert g.num_edges == 7
+        assert list(g.neighbors(1)) == [0, 2]
+        assert list(g.neighbors(3)) == [1, 2]
+
+    def test_duplicate_of_existing_edge_ignored(self):
+        base = small_graph(weighted=True)
+        g = mutation.add_edges(base, [(0, 1)], weights=[99.0])
+        assert g.num_edges == base.num_edges
+        # first occurrence (the existing edge's weight) wins
+        begin, _ = g.edge_range(0)
+        assert g.weights[begin] == 1.0
+
+    def test_duplicate_insertions_keep_first(self):
+        g = mutation.add_edges(
+            small_graph(weighted=True), [(3, 0), (3, 0)], weights=[7.0, 8.0]
+        )
+        assert g.num_edges == 6
+        begin, end = g.edge_range(3)
+        idx = list(g.targets[begin:end]).index(0)
+        assert g.weights[begin + idx] == 7.0
+
+    def test_empty_add_returns_same_graph(self):
+        base = small_graph()
+        assert mutation.add_edges(base, []) is base
+
+    def test_default_weight_applied(self):
+        g = mutation.add_edges(
+            small_graph(weighted=True), [(3, 0)], default_weight=2.5
+        )
+        begin, end = g.edge_range(3)
+        idx = list(g.targets[begin:end]).index(0)
+        assert g.weights[begin + idx] == 2.5
+
+    def test_source_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            mutation.add_edges(small_graph(), [(4, 0)])
+        with pytest.raises(ValueError):
+            mutation.add_edges(small_graph(), [(-1, 0)])
+
+    def test_target_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            mutation.add_edges(small_graph(), [(0, 4)])
+
+    def test_misaligned_weights_rejected(self):
+        with pytest.raises(ValueError):
+            mutation.add_edges(
+                small_graph(weighted=True), [(3, 0), (3, 2)], weights=[1.0]
+            )
+
+
+class TestRemoveEdges:
+    def test_removes_edges(self):
+        g = mutation.remove_edges(small_graph(), [(0, 2), (3, 1)])
+        assert g.num_edges == 3
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(3)) == []
+
+    def test_missing_edge_ignored(self):
+        g = mutation.remove_edges(small_graph(), [(1, 0)])
+        assert g.num_edges == small_graph().num_edges
+
+    def test_empty_removal_returns_same_graph(self):
+        base = small_graph()
+        assert mutation.remove_edges(base, []) is base
+
+    def test_weights_follow_survivors(self):
+        g = mutation.remove_edges(small_graph(weighted=True), [(0, 1)])
+        begin, _ = g.edge_range(0)
+        assert g.targets[begin] == 2
+        assert g.weights[begin] == 2.0
+
+
+class TestAddVertices:
+    def test_appends_isolated_vertices(self):
+        g = mutation.add_vertices(small_graph(), 3)
+        assert g.num_vertices == 7
+        assert g.num_edges == 5
+        for v in (4, 5, 6):
+            assert g.out_degree(v) == 0
+
+    def test_added_ids_usable_as_edge_endpoints(self):
+        g = mutation.add_vertices(small_graph(), 1)
+        g = mutation.add_edges(g, [(4, 0), (0, 4)])
+        assert list(g.neighbors(4)) == [0]
+        assert 4 in list(g.neighbors(0))
+
+    def test_zero_returns_same_graph(self):
+        base = small_graph()
+        assert mutation.add_vertices(base, 0) is base
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mutation.add_vertices(small_graph(), -1)
+
+
+class TestReweightEdge:
+    def test_changes_only_that_edge(self):
+        base = small_graph(weighted=True)
+        g = mutation.reweight_edge(base, 1, 2, 9.0)
+        begin, _ = g.edge_range(1)
+        assert g.weights[begin] == 9.0
+        # everything else untouched, base unaffected (CSR is immutable)
+        others = np.delete(np.arange(g.num_edges), begin)
+        assert np.array_equal(g.weights[others], base.weights[others])
+        b, _ = base.edge_range(1)
+        assert base.weights[b] == 3.0
+
+    def test_missing_edge_rejected(self):
+        with pytest.raises(ValueError):
+            mutation.reweight_edge(small_graph(weighted=True), 1, 0, 2.0)
+
+    def test_unweighted_graph_rejected(self):
+        with pytest.raises(ValueError):
+            mutation.reweight_edge(small_graph(), 0, 1, 2.0)

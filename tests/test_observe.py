@@ -280,8 +280,10 @@ class TestTraceCLI:
             ]
         )
         assert code == 0
-        trace_path = tmp_path / "depgraph-h_pagerank_GL.trace.json"
-        metrics_path = tmp_path / "depgraph-h_pagerank_GL.metrics.json"
+        # the default steal policy is "auto"; non-random policies are
+        # recorded in the artifact stem
+        trace_path = tmp_path / "depgraph-h_pagerank_GL_auto.trace.json"
+        metrics_path = tmp_path / "depgraph-h_pagerank_GL_auto.metrics.json"
         assert trace_path.exists() and metrics_path.exists()
         trace = json.loads(trace_path.read_text())
         assert trace["traceEvents"], "trace must contain events"
@@ -292,3 +294,76 @@ class TestTraceCLI:
         out = capsys.readouterr().out
         assert "where the cycles went" in out
         assert "round" in out
+
+    def test_trace_subcommand_file_sink(self, tmp_path, capsys):
+        code = main(
+            [
+                "trace",
+                "sssp",
+                "AZ",
+                "--scale",
+                "0.05",
+                "--cores",
+                "4",
+                "--sink",
+                "file",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        events_path = tmp_path / "depgraph-h_sssp_AZ_auto.events.jsonl"
+        trace_path = tmp_path / "depgraph-h_sssp_AZ_auto.trace.json"
+        assert events_path.exists() and trace_path.exists()
+        lines = events_path.read_text().strip().splitlines()
+        trace = json.loads(trace_path.read_text())
+        spans = [e for e in trace["traceEvents"] if e["ph"] in ("X", "i", "C")]
+        # the export was built from the sinked events, one line each
+        assert len(lines) == len(spans)
+        out = capsys.readouterr().out
+        assert "none dropped" in out
+
+
+class TestFileSink:
+    def sample_events(self, tracer):
+        tracer.span("work", 10.0, 5.0, track=1, args={"vertex": 3})
+        tracer.instant("steal", 12.0, track=2)
+        tracer.counter("activity", 15.0, {"active": 7.0})
+
+    def test_streams_and_replays_events(self, tmp_path):
+        from repro.observe import FileSink
+
+        with FileSink(tmp_path / "ev.jsonl") as sink:
+            tracer = Tracer(sink=sink)
+            self.sample_events(tracer)
+            events = list(tracer.events())
+        assert [e[0] for e in events] == ["X", "i", "C"]
+        assert events[0][1] == "work" and events[0][6] == {"vertex": 3}
+        assert len(tracer) == 3 and sink.count == 3
+
+    def test_never_drops_past_ring_capacity(self, tmp_path):
+        from repro.observe import FileSink
+
+        sink = FileSink(tmp_path / "ev.jsonl")
+        tracer = Tracer(capacity=4, sink=sink)
+        for i in range(10):
+            tracer.instant(f"e{i}", float(i))
+        # the ring would have kept only the last 4; the sink keeps all 10
+        # including the start of the run, and reports nothing dropped
+        assert tracer.dropped == 0
+        names = [event[1] for event in tracer.events()]
+        assert names == [f"e{i}" for i in range(10)]
+        sink.close()
+
+    def test_export_works_from_sink(self, tmp_path):
+        from repro.observe import FileSink
+
+        with FileSink(tmp_path / "ev.jsonl") as sink:
+            tracer = Tracer(sink=sink)
+            tracer.name_track(1, "core 0")
+            self.sample_events(tracer)
+            trace = to_chrome_trace(tracer)
+            assert {"X", "i", "C"} <= {e["ph"] for e in trace["traceEvents"]}
+            assert "dropped" not in trace.get("metadata", {}) or not trace[
+                "metadata"
+            ].get("dropped")

@@ -37,7 +37,7 @@ class TestSchedulingPolicy:
             SchedulingPolicy(steal_policy="round-robin")
 
     def test_policies_tuple(self):
-        assert STEAL_POLICIES == ("random", "partition")
+        assert STEAL_POLICIES == ("random", "partition", "auto")
 
     def test_make_policy_knobs(self):
         policy = make_policy("partition", rebalance_skew=2.0, hop_penalty_cycles=0)
