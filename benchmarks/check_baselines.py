@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over the ``obs.*`` counters.
+
+Compares the fig11 smoke run's per-run counters
+(``results/fig11.metrics.json``) against the checked-in
+``benchmarks/baselines.json`` and fails when locality or scheduling
+regressed beyond the documented slack:
+
+* ``obs.cache.llc.hit_rate`` dropped by more than 2 % (relative), or
+* ``obs.sched.steals_attempted`` grew by more than 20 % (relative;
+  baselines of zero allow an absolute slack of 50 attempts).
+
+The simulator is deterministic at a pinned config, so in a healthy tree
+every counter matches its baseline exactly; the slack only absorbs
+*intentional* small shifts (e.g. a new tie-break in the scheduler) so
+that honest-to-goodness regressions still fail loudly.
+
+Regenerate the baselines after an intentional change with::
+
+    REPRO_SCALE=0.05 REPRO_CORES=8 PYTHONPATH=src \
+        python -m pytest benchmarks/test_fig11.py -x -q \
+        && python benchmarks/check_baselines.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINES = Path(__file__).resolve().parent / "baselines.json"
+METRICS = Path("results/fig11.metrics.json")
+
+LLC = "obs.cache.llc.hit_rate"
+STEALS = "obs.sched.steals_attempted"
+
+#: allowed relative LLC hit-rate drop before the gate fails
+LLC_DROP_SLACK = 0.02
+#: allowed relative growth in steal attempts before the gate fails
+STEALS_GROWTH_SLACK = 0.20
+#: absolute steal-attempt slack when the baseline is zero
+STEALS_ZERO_SLACK = 50.0
+
+
+def _load_runs(path: Path) -> dict:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return payload["runs"], {
+        "scale": payload.get("scale"),
+        "cores": payload.get("cores"),
+    }
+
+
+def _update(runs: dict, config: dict) -> int:
+    baselines = {
+        "config": config,
+        "regenerate": (
+            "REPRO_SCALE=0.05 REPRO_CORES=8 PYTHONPATH=src "
+            "python -m pytest benchmarks/test_fig11.py -x -q "
+            "&& python benchmarks/check_baselines.py --update"
+        ),
+        "runs": {
+            label: {
+                LLC: run["counters"][LLC],
+                STEALS: run["counters"][STEALS],
+            }
+            for label, run in sorted(runs.items())
+        },
+    }
+    BASELINES.write_text(
+        json.dumps(baselines, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {BASELINES} ({len(runs)} runs at config {config})")
+    return 0
+
+
+def _check(runs: dict, config: dict) -> int:
+    baselines = json.loads(BASELINES.read_text(encoding="utf-8"))
+    if baselines.get("config") != config:
+        print(
+            f"FAIL: metrics config {config} does not match baseline config "
+            f"{baselines.get('config')}; run the smoke config documented in "
+            "baselines.json['regenerate']"
+        )
+        return 1
+    failures = []
+    missing = []
+    for label, base in baselines["runs"].items():
+        run = runs.get(label)
+        if run is None:
+            missing.append(label)
+            continue
+        llc = run["counters"].get(LLC)
+        steals = run["counters"].get(STEALS)
+        if llc is None or steals is None:
+            failures.append(f"{label}: missing {LLC} or {STEALS}")
+            continue
+        if llc < base[LLC] * (1.0 - LLC_DROP_SLACK):
+            failures.append(
+                f"{label}: {LLC} {base[LLC]:.4f} -> {llc:.4f} "
+                f"(dropped more than {LLC_DROP_SLACK:.0%})"
+            )
+        allowed = (
+            base[STEALS] * (1.0 + STEALS_GROWTH_SLACK)
+            if base[STEALS] > 0
+            else STEALS_ZERO_SLACK
+        )
+        if steals > allowed:
+            failures.append(
+                f"{label}: {STEALS} {base[STEALS]:.0f} -> {steals:.0f} "
+                f"(grew more than {STEALS_GROWTH_SLACK:.0%})"
+            )
+    if missing:
+        failures.append(
+            f"{len(missing)} baseline runs absent from metrics (first: "
+            f"{missing[0]}); regenerate baselines if the sweep changed"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"perf gate OK: {len(baselines['runs'])} runs within slack "
+        f"(llc drop < {LLC_DROP_SLACK:.0%}, steal growth < "
+        f"{STEALS_GROWTH_SLACK:.0%})"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite baselines.json from the current metrics",
+    )
+    parser.add_argument(
+        "--metrics",
+        type=Path,
+        default=METRICS,
+        help=f"metrics.json to gate on (default: {METRICS})",
+    )
+    args = parser.parse_args(argv)
+    runs, config = _load_runs(args.metrics)
+    if not runs:
+        print(f"FAIL: {args.metrics} recorded no runs")
+        return 1
+    if args.update:
+        return _update(runs, config)
+    return _check(runs, config)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""CI gate for the reordering layer: locality up, answers unchanged.
+
+Reads ``results/reorder_compare.metrics.json`` (written by
+``python -m repro experiment reorder``) and asserts the two properties the
+layer exists to provide:
+
+1. **Correctness** — every run, identity or not, reports
+   ``state_match=True``: the converged states equal the identity run's
+   under the accumulator-kind comparison rules (min/max bit-identical,
+   sum-type within the documented tolerance).
+2. **Locality** — on at least one (dataset, system) pair the ``degree``
+   ordering's L2 *and* LLC hit rates are >= the identity run's from the
+   same process (strictly better at the pinned smoke config; the
+   simulator is deterministic, so this is not a flaky threshold).
+
+Usage::
+
+    REPRO_SCALE=0.3 REPRO_CORES=8 PYTHONPATH=src \
+        python -m repro experiment reorder
+    python benchmarks/check_reorder.py [results/reorder_compare.metrics.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_METRICS = Path("results/reorder_compare.metrics.json")
+
+L2 = "obs.cache.l2.hit_rate"
+LLC = "obs.cache.llc.hit_rate"
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    path = Path(argv[0]) if argv else DEFAULT_METRICS
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    runs = payload["runs"]
+    if not runs:
+        print(f"FAIL: {path} recorded no runs")
+        return 1
+
+    failures = []
+    identity = {}
+    for label, run in runs.items():
+        if not run["state_match"]:
+            failures.append(f"state mismatch vs identity: {label}")
+        if not run["converged"]:
+            failures.append(f"run did not converge: {label}")
+        applied = run["counters"].get("obs.reorder.applied")
+        expected = 0.0 if run["ordering"] == "identity" else 1.0
+        if applied != expected:
+            failures.append(
+                f"obs.reorder.applied={applied} (expected {expected}): {label}"
+            )
+        if run["ordering"] == "identity":
+            identity[(run["dataset"], run["system"])] = run
+
+    improved = []
+    for label, run in runs.items():
+        if run["ordering"] != "degree":
+            continue
+        base = identity.get((run["dataset"], run["system"]))
+        if base is None:
+            failures.append(f"no identity baseline in the same job for {label}")
+            continue
+        l2_ok = run["counters"][L2] >= base["counters"][L2]
+        llc_ok = run["counters"][LLC] >= base["counters"][LLC]
+        print(
+            f"{run['dataset']}/{run['system']}: degree "
+            f"l2 {base['counters'][L2]:.4f} -> {run['counters'][L2]:.4f}, "
+            f"llc {base['counters'][LLC]:.4f} -> {run['counters'][LLC]:.4f}, "
+            f"state_match={run['state_match']}"
+        )
+        if l2_ok and llc_ok:
+            improved.append(label)
+
+    if not improved:
+        failures.append(
+            "no (dataset, system) pair where the degree ordering holds both "
+            "L2 and LLC hit rates at or above the identity run"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"reorder gate OK: {len(runs)} runs, all states match; degree "
+        f"ordering improves locality on {len(improved)} pair(s): "
+        + ", ".join(sorted(improved))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

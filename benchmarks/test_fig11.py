@@ -1,7 +1,6 @@
 """Figure 11 — speedup over Ligra-o vs the accelerated baselines."""
 
 from repro.experiments import fig11_speedup
-from repro.experiments.common import geometric_mean
 
 
 def test_fig11_accelerator_comparison(benchmark, config, cache, record_table):

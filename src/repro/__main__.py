@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import sys
 from pathlib import Path
 
@@ -38,6 +39,7 @@ EXPERIMENT_MODULES = {
     "table4": "table04_area",
     "preprocessing": "preprocessing",
     "sched": "sched_compare",
+    "reorder": "reorder_compare",
 }
 
 
@@ -67,6 +69,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--steal-policy", default="auto", choices=runtime.STEAL_POLICIES
     )
+    run_p.add_argument(
+        "--reorder", default="identity", choices=runtime.ORDERING_NAMES
+    )
 
     cmp_p = sub.add_parser("compare", help="run every system on one workload")
     cmp_p.add_argument("--dataset", default="LJ", choices=datasets.DATASET_NAMES)
@@ -76,9 +81,19 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument(
         "--steal-policy", default="auto", choices=runtime.STEAL_POLICIES
     )
+    cmp_p.add_argument(
+        "--reorder", default="identity", choices=runtime.ORDERING_NAMES
+    )
 
     exp_p = sub.add_parser("experiment", help="regenerate a figure/table")
     exp_p.add_argument("name", choices=sorted(EXPERIMENT_MODULES))
+    exp_p.add_argument(
+        "--reorder",
+        default=None,
+        choices=runtime.ORDERING_NAMES,
+        help="vertex ordering for every run of the experiment (sets "
+        "REPRO_REORDER for the harness; default: identity)",
+    )
 
     trace_p = sub.add_parser(
         "trace",
@@ -99,6 +114,9 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--cores", type=int, default=16)
     trace_p.add_argument(
         "--steal-policy", default="auto", choices=runtime.STEAL_POLICIES
+    )
+    trace_p.add_argument(
+        "--reorder", default="identity", choices=runtime.ORDERING_NAMES
     )
     trace_p.add_argument(
         "--out",
@@ -138,6 +156,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve_p.add_argument("--cores", type=int, default=8)
     serve_p.add_argument(
+        "--reorder", default="identity", choices=runtime.ORDERING_NAMES
+    )
+    serve_p.add_argument(
         "--algorithms",
         default="pagerank,sssp,wcc",
         help="comma-separated query mix",
@@ -176,6 +197,8 @@ def _run_trace(args) -> int:
     stem = f"{args.system}_{args.algorithm}_{args.dataset}"
     if args.steal_policy != "random":
         stem += f"_{args.steal_policy}"
+    if args.reorder != "identity":
+        stem += f"_{args.reorder}"
     sink = None
     if args.sink == "file":
         sink = observe.FileSink(out_dir / f"{stem}.events.jsonl")
@@ -188,6 +211,7 @@ def _run_trace(args) -> int:
         hardware,
         tracer=tracer,
         steal_policy=args.steal_policy,
+        reorder=args.reorder,
     )
     _print_result(result)
 
@@ -215,6 +239,7 @@ def _run_trace(args) -> int:
         dataset=args.dataset,
         scale=args.scale,
         cores=args.cores,
+        reorder=args.reorder,
         cycles=result.cycles,
         rounds=result.rounds,
         converged=result.converged,
@@ -241,6 +266,7 @@ def _run_serve_bench(args) -> int:
         slots=args.slots,
         system=args.system,
         cores=args.cores,
+        reorder=args.reorder,
         algorithms=tuple(
             name.strip() for name in args.algorithms.split(",") if name.strip()
         ),
@@ -274,6 +300,10 @@ def main(argv=None) -> int:
         print("experiments:", ", ".join(sorted(EXPERIMENT_MODULES)))
         return 0
     if args.command == "experiment":
+        if args.reorder is not None:
+            # the experiment harness reads the ordering from the
+            # environment (see ExperimentConfig), like REPRO_SCALE
+            os.environ["REPRO_REORDER"] = args.reorder
         module = importlib.import_module(
             f".experiments.{EXPERIMENT_MODULES[args.name]}", package=__package__
         )
@@ -296,6 +326,7 @@ def main(argv=None) -> int:
                 algorithm,
                 hardware,
                 steal_policy=args.steal_policy,
+                reorder=args.reorder,
             )
         )
         return 0
@@ -308,6 +339,7 @@ def main(argv=None) -> int:
             algorithms.make(args.algorithm),
             hardware,
             steal_policy=args.steal_policy,
+            reorder=args.reorder,
         )
         if system == "ligra-o":
             base = result

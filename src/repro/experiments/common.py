@@ -37,12 +37,20 @@ def _env_int(name: str, default: int) -> int:
     return int(value) if value else default
 
 
+def _env_str(name: str, default: str) -> str:
+    value = os.environ.get(name)
+    return value if value else default
+
+
 @dataclass(frozen=True)
 class ExperimentConfig:
     """Knobs common to every experiment."""
 
     scale: float = _env_float("REPRO_SCALE", 0.35)
     cores: int = _env_int("REPRO_CORES", 64)
+    #: vertex ordering applied to every run (``REPRO_REORDER`` overrides;
+    #: see :mod:`repro.graph.reorder`)
+    reorder: str = _env_str("REPRO_REORDER", "identity")
     #: datasets to sweep (paper order); trimmed by cheap presets
     dataset_names: Tuple[str, ...] = datasets.DATASET_NAMES
     #: algorithms to sweep (paper: pagerank, adsorption, sssp, wcc)
@@ -58,6 +66,7 @@ class ExperimentConfig:
         return ExperimentConfig(
             scale=min(self.scale, 0.2),
             cores=min(self.cores, 16),
+            reorder=self.reorder,
             dataset_names=("AZ", "PK"),
             algorithm_names=("pagerank", "sssp"),
         )
@@ -121,6 +130,8 @@ class WorkloadCache:
         **options,
     ) -> ExecutionResult:
         cores = cores or self.config.cores
+        if self.config.reorder != "identity":
+            options.setdefault("reorder", self.config.reorder)
         key = (system, dataset, algorithm, cores, tuple(sorted(options.items())))
         if key not in self._results:
             self._results[key] = run_system(

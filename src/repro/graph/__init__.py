@@ -1,8 +1,10 @@
-"""Graph substrate: CSR representation, generators, datasets, partitioning."""
+"""Graph substrate: CSR representation, generators, datasets, partitioning,
+and locality-aware vertex reordering."""
 
 from .csr import CSRGraph
 from .partition import Partition, Partitioning, by_edge_count, by_vertex_count
-from . import datasets, generators, io, mutation, properties
+from .reorder import ORDERING_NAMES, VertexOrdering, make_ordering
+from . import datasets, generators, io, mutation, properties, reorder
 
 __all__ = [
     "CSRGraph",
@@ -10,9 +12,13 @@ __all__ = [
     "Partitioning",
     "by_edge_count",
     "by_vertex_count",
+    "ORDERING_NAMES",
+    "VertexOrdering",
+    "make_ordering",
     "datasets",
     "generators",
     "io",
     "mutation",
     "properties",
+    "reorder",
 ]

@@ -202,6 +202,26 @@ class CSRGraph:
             raise ValueError("weights must align with targets")
         return CSRGraph(self.offsets.copy(), self.targets.copy(), w)
 
+    def permute(self, perm: np.ndarray) -> "CSRGraph":
+        """Relabel vertices under ``perm`` (``perm[old_id] == new_id``).
+
+        Every edge ``<u, v, w>`` becomes ``<perm[u], perm[v], w>``; the
+        result is a structurally identical graph whose arrays — and hence
+        whose byte-address layout under
+        :class:`repro.hardware.layout.MemoryLayout` — follow the new
+        vertex order.  ``perm`` must be a bijection on ``[0, n)``
+        (validated by :class:`repro.graph.reorder.VertexOrdering`; this
+        method only checks shape).
+        """
+        perm = np.asarray(perm, dtype=np.int64)
+        if perm.shape != (self.num_vertices,):
+            raise ValueError("perm must have one entry per vertex")
+        n = self.num_vertices
+        src = np.repeat(np.arange(n, dtype=np.int64), self.out_degrees())
+        return CSRGraph.from_arrays(
+            n, perm[src], perm[self.targets], self.weights
+        )
+
     def subgraph_edge_count(self, vertices: Iterable[int]) -> int:
         """Number of edges with both endpoints inside ``vertices``."""
         vset = set(int(v) for v in vertices)

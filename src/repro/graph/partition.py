@@ -69,6 +69,17 @@ class Partitioning:
             raise IndexError(f"vertex {vertex} out of range")
         return int(np.searchsorted(self._bounds, vertex, side="right"))
 
+    def owner_map(self) -> np.ndarray:
+        """Vectorised ``owner_of`` for every vertex: an int64 array where
+        entry ``v`` is the partition index owning ``v``.  Note the indices
+        are in this partitioning's own vertex space — when the graph was
+        relabeled by :mod:`repro.graph.reorder`, use the ordering's
+        ``to_original`` to report the map in original vertex ids."""
+        vertices = np.arange(self.graph.num_vertices, dtype=np.int64)
+        return np.searchsorted(self._bounds, vertices, side="right").astype(
+            np.int64
+        )
+
 
 def by_vertex_count(graph: CSRGraph, num_parts: int) -> Partitioning:
     """Equal vertex-count ranges (the simplest contiguous split)."""

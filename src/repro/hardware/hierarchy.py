@@ -186,7 +186,14 @@ class MemorySystem:
         unconditionally); the NoC/DRAM sampling extras appear only when
         :meth:`attach_observer` enabled them.
         """
-        levels = (("l1", self.l1), ("l2", self.l2), ("l3", self.l3))
+        # "llc" aliases the shared L3 so locality dashboards and the CI
+        # perf gate can address the last-level cache by role, not level.
+        levels = (
+            ("l1", self.l1),
+            ("l2", self.l2),
+            ("l3", self.l3),
+            ("llc", self.l3),
+        )
         for name, caches in levels:
             hits = sum(c.hits for c in caches)
             misses = sum(c.misses for c in caches)

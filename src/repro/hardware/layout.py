@@ -8,6 +8,13 @@ space; helpers map element indices to byte addresses.
 Element sizes follow the paper's CSR description: 8-byte offsets, 8-byte
 edge targets, 8-byte weights, 8-byte vertex states/deltas, and hub-index
 entries of <j, i, l, mu, xi> = 40 bytes.
+
+Addresses are dense in vertex id (``states.addr(v) == base + 8 * v``),
+which makes the layout the delivery mechanism for
+:mod:`repro.graph.reorder`: running over a permuted CSR view lays the
+state and delta arrays out in the permuted order, so a locality-aware
+ordering changes which vertices share cache lines without any runtime
+changes.
 """
 
 from __future__ import annotations

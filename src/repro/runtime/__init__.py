@@ -1,5 +1,6 @@
 """Execution runtimes: software baselines, accelerated baselines, DepGraph."""
 
+from ..graph.reorder import ORDERING_NAMES
 from .context import SimContext
 from .depgraph_rt import DepGraphOptions, run_depgraph, run_sequential
 from .minnow_rt import run_minnow
@@ -24,6 +25,7 @@ from .scheduling import (
 from .stats import ExecutionResult, RoundLog
 
 __all__ = [
+    "ORDERING_NAMES",
     "SchedulingPolicy",
     "CostEstimator",
     "VictimRanker",

@@ -76,9 +76,7 @@ class SimContext:
                 self.tracer.name_track(core + 1, f"core {core}")
         self.layout = MemoryLayout(graph, hardware.num_cores)
         self.partitioning: Partitioning = by_edge_count(graph, hardware.num_cores)
-        self._owner = [
-            self.partitioning.owner_of(v) for v in range(graph.num_vertices)
-        ]
+        self._owner = self.partitioning.owner_map().tolist()
 
         n = graph.num_vertices
         self.states: List[float] = [
@@ -328,6 +326,9 @@ class SimContext:
             engine_ops=self.engine_ops,
             round_log=self.round_log,
             shortcut_applications=self.shortcut_applications,
+            # internal-id map here; the registry re-indexes it to original
+            # vertex ids when the run executed over a reordered view
+            partition_map=np.asarray(self._owner, dtype=np.int64),
         )
         # Flush the metric registry into the figures' key-value sidecar so
         # traced and untraced runs alike carry their counters.

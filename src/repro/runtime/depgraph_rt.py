@@ -34,6 +34,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from ..accel.depgraph.ddmu import DDMU
 from ..accel.depgraph.engine import DepGraphEngine, EngineConfig
 from ..accel.depgraph.hdtl import HDTL, EdgeFetch, PathEnd
@@ -328,6 +330,11 @@ class _DepGraphExecution:
         result = ctx.result(converged)
         result.hub_index_entries = len(self.hub_index)
         result.hub_index_bytes = self.hub_index.memory_bytes
+        # internal ids here; the registry maps them back to original
+        # vertex ids for reordered runs
+        result.hub_vertex_ids = np.asarray(
+            sorted(self.hubsets.hubs), dtype=np.int64
+        )
         result.extra["hub_vertices"] = float(len(self.hubsets.hubs))
         result.extra["core_vertices"] = float(len(self.hubsets.core_vertices))
         result.extra["hub_lookups"] = float(self.hub_index.lookups)

@@ -20,10 +20,17 @@ name               system
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
 
 from ..algorithms.base import Algorithm
 from ..graph.csr import CSRGraph
+from ..graph.reorder import (
+    ReorderedAlgorithm,
+    VertexOrdering,
+    make_ordering,
+)
 from ..hardware.config import HardwareConfig
 from .depgraph_rt import (
     DepGraphOptions,
@@ -57,6 +64,63 @@ ACCELERATOR_SYSTEMS = ("hats", "minnow", "phi", "depgraph-h")
 SOFTWARE_SYSTEMS = ("ligra", "ligra-o", "mosaic", "wonderland", "fbsgraph")
 
 
+def _pop_reorder(
+    options: Dict,
+    graph: CSRGraph,
+    algorithm: Algorithm,
+    num_parts: int,
+) -> Tuple[CSRGraph, Algorithm, Optional[VertexOrdering]]:
+    """Resolve the ``reorder=`` run option into a permuted workload.
+
+    ``reorder`` accepts an ordering name (see
+    :data:`repro.graph.reorder.ORDERING_NAMES`) or a prebuilt
+    :class:`VertexOrdering` (the serving layer caches one per snapshot
+    version).  Returns the (possibly relabeled) graph, the (possibly
+    wrapped) algorithm, and the ordering used — None when the run is in
+    identity order, so callers pay nothing on the default path.
+    """
+    reorder: Union[None, str, VertexOrdering] = options.pop("reorder", None)
+    if reorder is None or reorder == "identity":
+        return graph, algorithm, None
+    if isinstance(reorder, VertexOrdering):
+        ordering = reorder
+    else:
+        ordering = make_ordering(reorder, graph, num_parts=num_parts)
+    if ordering.is_identity:
+        return graph, algorithm, None
+    permuted = ordering.apply_to_graph(graph)
+    return permuted, ReorderedAlgorithm(algorithm, ordering, graph), ordering
+
+
+def _restore_original_ids(
+    result: ExecutionResult, ordering: Optional[VertexOrdering]
+) -> ExecutionResult:
+    """Report every id-indexed artifact of a run in original vertex ids.
+
+    States and the partition map are inverse-permuted arrays; hub ids are
+    mapped element-wise (and re-sorted so the set reads canonically).
+    ``obs.reorder.*`` counters record that — and how much — the layout
+    moved, so metrics.json files are self-describing.
+    """
+    if ordering is None:
+        result.extra.setdefault("obs.reorder.applied", 0.0)
+        result.extra.setdefault("obs.reorder.moved_vertices", 0.0)
+        return result
+    result.ordering = ordering.name
+    result.states = ordering.to_original(result.states)
+    if result.partition_map is not None:
+        result.partition_map = ordering.to_original(result.partition_map)
+    if result.hub_vertex_ids is not None and result.hub_vertex_ids.size:
+        result.hub_vertex_ids = np.sort(
+            ordering.ids_to_original(result.hub_vertex_ids)
+        )
+    result.extra["obs.reorder.applied"] = 1.0
+    result.extra["obs.reorder.moved_vertices"] = float(
+        ordering.moved_vertices
+    )
+    return result
+
+
 def run(
     system: str,
     graph: CSRGraph,
@@ -74,7 +138,13 @@ def run(
     ``auto`` is the documented recommendation and resolves per
     ``(system, graph)`` (``random`` for Minnow on hub-dominated graphs
     like GL, ``partition`` everywhere else; see
-    ``results/sched_compare.txt``); the remaining ``options`` are
+    ``results/sched_compare.txt``).  ``reorder="identity"|"degree"|
+    "hub"|"partition"`` (or a prebuilt
+    :class:`repro.graph.reorder.VertexOrdering`) is likewise understood
+    by every system: the run executes over a locality-permuted view of
+    the graph while states, hub ids, and the partition map are reported
+    in original vertex ids (see ``results/reorder_compare.txt``).  The
+    remaining ``options`` are
     forwarded to :class:`DepGraphOptions` for the DepGraph variants
     (e.g. ``lam=0.01, stack_depth=20, ddmu_mode="learned"``) and ignored
     elsewhere.  ``tracer`` (a :class:`repro.observe.Tracer`) enables
@@ -83,7 +153,31 @@ def run(
     active.
     """
     hw = hardware or HardwareConfig.scaled()
+    # Resolve the scheduling and layout options before dispatch: both are
+    # understood uniformly by every system.  Reordering relabels the graph
+    # and wraps the algorithm so the runtimes execute over the permuted
+    # view without knowing it; _restore_original_ids undoes the relabeling
+    # on everything the result reports.
     sched = pop_scheduling_options(options).resolved(system, graph)
+    graph, algorithm, ordering = _pop_reorder(
+        options, graph, algorithm, num_parts=hw.num_cores
+    )
+    result = _dispatch(
+        system, graph, algorithm, hw, max_rounds, tracer, sched, options
+    )
+    return _restore_original_ids(result, ordering)
+
+
+def _dispatch(
+    system: str,
+    graph: CSRGraph,
+    algorithm: Algorithm,
+    hw: HardwareConfig,
+    max_rounds: int,
+    tracer,
+    sched,
+    options: Dict,
+) -> ExecutionResult:
     if system == "sequential":
         return run_sequential(
             graph, algorithm, hw, max_rounds=max_rounds, tracer=tracer, sched=sched

@@ -9,7 +9,7 @@ state-processing vs other-time breakdown (Figure 9), per-round activity
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -56,6 +56,15 @@ class ExecutionResult:
     shortcut_applications: int = 0
     round_log: List[RoundLog] = field(default_factory=list)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: which vertex ordering laid out the state/delta arrays for this run
+    #: (see :mod:`repro.graph.reorder`); "identity" for unreordered runs
+    ordering: str = "identity"
+    #: vertex -> owning core, reported in *original* vertex ids even when
+    #: the run executed over a permuted view
+    partition_map: Optional[np.ndarray] = None
+    #: hub-vertex ids selected by the DepGraph runtimes, likewise in
+    #: original vertex ids (None for systems without a hub set)
+    hub_vertex_ids: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @property

@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from ..algorithms.detect import AccumKind, detect_accum_kind
 from ..experiments.common import ExperimentTable
 from ..graph import datasets
 from ..observe import MetricRegistry
-from .engine import QueryEngine, QueryKey
+from .engine import QueryEngine
 from .service import GraphService, ServeConfig
 from .store import GraphDelta
 
@@ -61,6 +61,9 @@ class BenchConfig:
     #: injected by the workload itself)
     deadline_cycles: float = 5e7
     algorithms: Tuple[str, ...] = ("pagerank", "sssp", "wcc")
+    #: vertex ordering applied to every engine run (and the cold control
+    #: engine, so warm-vs-cold comparisons stay apples-to-apples)
+    reorder: str = "identity"
     #: shadow every warm run with a cold control run and compare
     verify_cold: bool = True
     out_dir: str = "results"
@@ -72,6 +75,7 @@ class BenchConfig:
             queue_limit=self.queue_limit,
             cache_capacity=self.cache_capacity,
             default_deadline_cycles=self.deadline_cycles,
+            reorder=self.reorder,
         )
 
 
@@ -149,6 +153,7 @@ def run_bench(
             system=config.system,
             hardware=config.serve_config().hardware(),
             warm=False,
+            reorder=config.reorder,
             steal_policy=config.serve_config().steal_policy,
         )
         if config.verify_cold
@@ -307,6 +312,7 @@ def write_artifacts(
         system=config.system,
         cores=config.cores,
         slots=config.slots,
+        reorder=config.reorder,
     )
     return table_path, metrics_path
 

@@ -20,6 +20,8 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from .. import algorithms as algorithms_mod
+from ..graph.csr import CSRGraph
+from ..graph.reorder import VertexOrdering, make_ordering
 from ..hardware.config import HardwareConfig
 from ..runtime import run as run_system
 from ..runtime.stats import ExecutionResult
@@ -90,6 +92,7 @@ class QueryEngine:
         hardware: Optional[HardwareConfig] = None,
         warm: bool = True,
         max_rounds: int = 4000,
+        reorder: str = "identity",
         **run_options,
     ) -> None:
         self.store = store
@@ -97,10 +100,24 @@ class QueryEngine:
         self.hardware = hardware or HardwareConfig.scaled(num_cores=8)
         self.warm = warm
         self.max_rounds = max_rounds
+        self.reorder = reorder
         self.run_options = dict(run_options)
         #: (algorithm, params) -> (version, converged states)
         self._baselines: Dict[Tuple[str, ParamsKey], Tuple[int, np.ndarray]] = {}
+        #: version -> resolved ordering; orderings are a function of the
+        #: snapshot topology, so every query lineage on a version shares one
+        self._orderings: Dict[int, VertexOrdering] = {}
         self.runs = 0
+
+    def _ordering_for(self, version: int, graph: CSRGraph) -> VertexOrdering:
+        """The version's cached :class:`VertexOrdering` (built on demand)."""
+        ordering = self._orderings.get(version)
+        if ordering is None:
+            ordering = make_ordering(
+                self.reorder, graph, num_parts=self.hardware.num_cores
+            )
+            self._orderings[version] = ordering
+        return ordering
 
     # ------------------------------------------------------------------
     def execute(
@@ -137,13 +154,19 @@ class QueryEngine:
                     seeded = plan.seeded
                     reason = FALLBACK_OK
 
+        options = dict(self.run_options)
+        if self.reorder != "identity":
+            # Warm-start baselines live in original vertex ids (results are
+            # always restored to them), so reordering composes with seeding:
+            # the ReorderedAlgorithm wrapper translates on the way in.
+            options["reorder"] = self._ordering_for(resolved, snapshot.graph)
         result = run_system(
             self.system,
             snapshot.graph,
             run_algo,
             self.hardware,
             max_rounds=self.max_rounds,
-            **dict(self.run_options),
+            **options,
         )
         self.runs += 1
         if result.converged:

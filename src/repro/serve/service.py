@@ -60,6 +60,9 @@ class ServeConfig:
     warm: bool = True
     max_rounds: int = 4000
     steal_policy: str = "auto"
+    #: vertex ordering for every engine run (see :mod:`repro.graph.reorder`);
+    #: the engine resolves it once per snapshot version and reuses it
+    reorder: str = "identity"
 
     def hardware(self) -> HardwareConfig:
         return HardwareConfig.scaled(num_cores=self.cores)
@@ -120,6 +123,7 @@ class GraphService:
             hardware=self.config.hardware(),
             warm=self.config.warm,
             max_rounds=self.config.max_rounds,
+            reorder=self.config.reorder,
             steal_policy=self.config.steal_policy,
         )
         self.batcher: Batcher[_Pending] = Batcher()
