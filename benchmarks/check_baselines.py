@@ -8,7 +8,14 @@ regressed beyond the documented slack:
 
 * ``obs.cache.llc.hit_rate`` dropped by more than 2 % (relative), or
 * ``obs.sched.steals_attempted`` grew by more than 20 % (relative;
-  baselines of zero allow an absolute slack of 50 attempts).
+  baselines of zero allow an absolute slack of 50 attempts), or
+* a hot span's share of the run's simulated machine-cycles
+  (``obs.span.<name>.cycles / (obs.sim.cycles * cores)`` — span cycles
+  sum across cores, so the denominator is the makespan times the core
+  count; recorded always-on by the execution kernel) drifted by more
+  than 5 points in either direction —
+  either someone made the hot path do more simulated work, or the span
+  accounting itself broke.
 
 The simulator is deterministic at a pinned config, so in a healthy tree
 every counter matches its baseline exactly; the slack only absorbs
@@ -34,6 +41,9 @@ METRICS = Path("results/fig11.metrics.json")
 
 LLC = "obs.cache.llc.hit_rate"
 STEALS = "obs.sched.steals_attempted"
+SIM_CYCLES = "obs.sim.cycles"
+SPAN_PREFIX = "obs.span."
+SPAN_SUFFIX = ".cycles"
 
 #: allowed relative LLC hit-rate drop before the gate fails
 LLC_DROP_SLACK = 0.02
@@ -41,6 +51,20 @@ LLC_DROP_SLACK = 0.02
 STEALS_GROWTH_SLACK = 0.20
 #: absolute steal-attempt slack when the baseline is zero
 STEALS_ZERO_SLACK = 50.0
+#: allowed absolute drift (share points) in a span's cycle share
+SPAN_SHARE_SLACK = 0.05
+
+
+def _span_shares(counters: dict, cores: float) -> dict:
+    """``span name -> share of total machine cycles`` per recorded span."""
+    total = counters.get(SIM_CYCLES, 0.0) * max(cores, 1.0)
+    if not total:
+        return {}
+    return {
+        key[len(SPAN_PREFIX):-len(SPAN_SUFFIX)]: value / total
+        for key, value in counters.items()
+        if key.startswith(SPAN_PREFIX) and key.endswith(SPAN_SUFFIX)
+    }
 
 
 def _load_runs(path: Path) -> dict:
@@ -63,6 +87,7 @@ def _update(runs: dict, config: dict) -> int:
             label: {
                 LLC: run["counters"][LLC],
                 STEALS: run["counters"][STEALS],
+                "span_share": _span_shares(run["counters"], run.get("cores", 1)),
             }
             for label, run in sorted(runs.items())
         },
@@ -111,6 +136,18 @@ def _check(runs: dict, config: dict) -> int:
                 f"{label}: {STEALS} {base[STEALS]:.0f} -> {steals:.0f} "
                 f"(grew more than {STEALS_GROWTH_SLACK:.0%})"
             )
+        shares = _span_shares(run["counters"], run.get("cores", 1))
+        for span, want in base.get("span_share", {}).items():
+            have = shares.get(span)
+            if have is None:
+                failures.append(
+                    f"{label}: span '{span}' missing from obs.span.* counters"
+                )
+            elif abs(have - want) > SPAN_SHARE_SLACK:
+                failures.append(
+                    f"{label}: span '{span}' cycle share {want:.3f} -> "
+                    f"{have:.3f} (drifted more than {SPAN_SHARE_SLACK:.2f})"
+                )
     if missing:
         failures.append(
             f"{len(missing)} baseline runs absent from metrics (first: "
@@ -123,7 +160,8 @@ def _check(runs: dict, config: dict) -> int:
     print(
         f"perf gate OK: {len(baselines['runs'])} runs within slack "
         f"(llc drop < {LLC_DROP_SLACK:.0%}, steal growth < "
-        f"{STEALS_GROWTH_SLACK:.0%})"
+        f"{STEALS_GROWTH_SLACK:.0%}, span-share drift < "
+        f"{SPAN_SHARE_SLACK:.2f})"
     )
     return 0
 

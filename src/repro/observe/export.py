@@ -65,18 +65,31 @@ def write_chrome_trace(tracer: Tracer, path, **other_data) -> None:
 
 # ----------------------------------------------------------------------
 def span_totals(tracer: Tracer) -> Dict[str, Dict[str, float]]:
-    """Aggregate spans by name -> {count, cycles, max}."""
+    """Aggregate spans by name -> {count, cycles, max, host_ns}.
+
+    ``host_ns`` sums the ``host_ns`` span argument the execution kernel
+    attaches to every hot-path span (wall-clock nanoseconds the simulator
+    itself spent inside the span), so one trace answers both "where did
+    the simulated cycles go" and "where does the simulator burn host
+    time".  Spans without the argument contribute zero.
+    """
     totals: Dict[str, Dict[str, float]] = {}
-    for phase, name, _cat, _ts, dur, _track, _args in tracer.events():
+    for phase, name, _cat, _ts, dur, _track, args in tracer.events():
         if phase != "X":
             continue
         row = totals.get(name)
         if row is None:
-            row = totals[name] = {"count": 0.0, "cycles": 0.0, "max": 0.0}
+            row = totals[name] = {
+                "count": 0.0, "cycles": 0.0, "max": 0.0, "host_ns": 0.0,
+            }
         row["count"] += 1
         row["cycles"] += dur
         if dur > row["max"]:
             row["max"] = dur
+        if args:
+            host = args.get("host_ns")
+            if host is not None:
+                row["host_ns"] += host
     return totals
 
 
@@ -92,18 +105,27 @@ def flame_summary(tracer: Tracer, top: int = 20) -> str:
     if not totals:
         return "(no spans recorded)"
     grand = sum(row["cycles"] for row in totals.values()) or 1.0
-    lines = [
+    # the wall column appears only when at least one span carried the
+    # kernel's host_ns argument (traces from older runs simply omit it)
+    with_wall = any(row["host_ns"] for row in totals.values())
+    header = (
         f"{'span':<24} {'count':>10} {'cycles':>14} {'avg':>10} "
         f"{'max':>10} {'share':>7}"
-    ]
+    )
+    if with_wall:
+        header += f" {'wall_ms':>10}"
+    lines = [header]
     ranked = sorted(totals.items(), key=lambda kv: -kv[1]["cycles"])
     for name, row in ranked[:top]:
         avg = row["cycles"] / row["count"] if row["count"] else 0.0
-        lines.append(
+        line = (
             f"{name:<24} {int(row['count']):>10d} {row['cycles']:>14.0f} "
             f"{avg:>10.1f} {row['max']:>10.0f} "
             f"{100.0 * row['cycles'] / grand:>6.1f}%"
         )
+        if with_wall:
+            line += f" {row['host_ns'] / 1e6:>10.1f}"
+        lines.append(line)
     if len(ranked) > top:
         lines.append(f"... {len(ranked) - top} more span names")
     if tracer.dropped:

@@ -29,8 +29,6 @@ from .stats import ExecutionResult, RoundLog
 BARRIER_CYCLES = 200
 #: extra barrier cost per doubling of the core count
 BARRIER_PER_LOG_CORE = 40
-#: cycles a thief spends stealing work
-STEAL_CYCLES = 120
 #: flat per-access memory cost used by the "fast" fidelity mode (roughly
 #: the detailed model's average across hit levels)
 FAST_MEM_CYCLES = 24.0
@@ -89,6 +87,10 @@ class SimContext:
         self.identity = algorithm.identity()
         self.accum_kind = detect_accum_kind(algorithm)
         self.is_sum = self.accum_kind is AccumKind.SUM
+        # hot-path prebinds: the staged-visibility helpers call these once
+        # or more per edge, so one attribute hop each matters at scale
+        self._accum = algorithm.accum
+        self._is_significant = algorithm.is_significant
 
         # per-core clocks and category accounting
         cores = self.num_cores
@@ -115,16 +117,34 @@ class SimContext:
         # redundant updates.
         self.staged: List[dict] = [dict() for _ in range(cores)]
 
+        # Charging dispatch is resolved once, here, instead of branching on
+        # fidelity inside every call: the fast-mode variants shadow the
+        # detailed methods as instance attributes.  The cycle numbers each
+        # variant produces are identical to the old branchy forms — this
+        # only removes per-access Python overhead.
+        if self.fast:
+            self.charge_mem = self._charge_mem_fast
+            self.charge_rmw = self._charge_rmw_fast
+            self.mem_cost = self._mem_cost_fast
+        self._access = self.memsys.access
+
     # ------------------------------------------------------------------
     # Charging primitives.
     # ------------------------------------------------------------------
     def charge_mem(
         self, core: int, addr: int, write: bool = False, state: bool = False
     ) -> float:
-        if self.fast:
-            cycles = FAST_MEM_CYCLES
-        else:
-            cycles = self.memsys.access(core, addr, write, now=self.clock[core])
+        cycles = self._access(core, addr, write, now=self.clock[core])
+        self.clock[core] += cycles
+        self.mem[core] += cycles
+        if state:
+            self.state_mem[core] += cycles
+        return cycles
+
+    def _charge_mem_fast(
+        self, core: int, addr: int, write: bool = False, state: bool = False
+    ) -> float:
+        cycles = FAST_MEM_CYCLES
         self.clock[core] += cycles
         self.mem[core] += cycles
         if state:
@@ -135,10 +155,15 @@ class SimContext:
         """A read-modify-write to one location (scatter accumulation): one
         hierarchy walk; the write hits the just-installed line.  Scatters
         target the delta array, so they count as state traffic by default."""
-        if self.fast:
-            cycles = FAST_MEM_CYCLES + 1
-        else:
-            cycles = self.memsys.access(core, addr, write=True, now=self.clock[core]) + 1
+        cycles = self._access(core, addr, True, now=self.clock[core]) + 1
+        self.clock[core] += cycles
+        self.mem[core] += cycles
+        if state:
+            self.state_mem[core] += cycles
+        return cycles
+
+    def _charge_rmw_fast(self, core: int, addr: int, state: bool = True) -> float:
+        cycles = FAST_MEM_CYCLES + 1
         self.clock[core] += cycles
         self.mem[core] += cycles
         if state:
@@ -158,9 +183,32 @@ class SimContext:
     def mem_cost(self, core: int, addr: int, write: bool = False) -> float:
         """Memory access whose latency the caller will attribute itself
         (used by engine timelines that run off the core clock)."""
-        if self.fast:
-            return FAST_MEM_CYCLES
-        return self.memsys.access(core, addr, write, now=self.clock[core])
+        return self._access(core, addr, write, now=self.clock[core])
+
+    def _mem_cost_fast(self, core: int, addr: int, write: bool = False) -> float:
+        return FAST_MEM_CYCLES
+
+    # ------------------------------------------------------------------
+    # Fused charge sequences (the entry/exit charging every family runs
+    # around a vertex apply; one call instead of three keeps the dispatch
+    # loop's Python overhead down without touching the cycle model).
+    # ------------------------------------------------------------------
+    def charge_state_entry(self, core: int, vertex: int) -> None:
+        """Delta read then state read for ``vertex`` — the charge sequence
+        at the head of every family's vertex processing."""
+        layout = self.layout
+        charge_mem = self.charge_mem
+        charge_mem(core, layout.deltas.addr(vertex), state=True)
+        charge_mem(core, layout.states.addr(vertex), state=True)
+
+    def charge_state_update(self, core: int, vertex: int) -> None:
+        """State write, delta write, then the update-op compute charge —
+        the post-apply sequence shared by every family."""
+        layout = self.layout
+        charge_mem = self.charge_mem
+        charge_mem(core, layout.states.addr(vertex), write=True, state=True)
+        charge_mem(core, layout.deltas.addr(vertex), write=True, state=True)
+        self.charge_compute(core, self.timing.update_op)
 
     # ------------------------------------------------------------------
     # Vertex primitives.
@@ -212,7 +260,7 @@ class SimContext:
         if own:
             staged = self.staged[core].get(vertex)
             if staged is not None:
-                value = self.algorithm.accum(value, staged)
+                value = self._accum(value, staged)
         return value
 
     def stage_scatter(self, core: int, vertex: int, influence: float) -> float:
@@ -220,9 +268,9 @@ class SimContext:
         returns the value now visible to this core."""
         staged = self.staged[core]
         prior = staged.get(vertex)
-        folded = influence if prior is None else self.algorithm.accum(prior, influence)
+        folded = influence if prior is None else self._accum(prior, influence)
         staged[vertex] = folded
-        return self.algorithm.accum(self.pending[vertex], folded)
+        return self._accum(self.pending[vertex], folded)
 
     def consume_pending(self, core: int, vertex: int) -> None:
         """The core applied the visible delta: clear what it could see."""
@@ -239,13 +287,15 @@ class SimContext:
         staged = self.staged[core]
         if not staged:
             return
-        accum = self.algorithm.accum
+        accum = self._accum
+        is_significant = self._is_significant
         pending = self.pending
+        states = self.states
         for vertex, value in staged.items():
             folded = accum(pending[vertex], value)
             pending[vertex] = folded
-            if on_significant is not None and self.algorithm.is_significant(
-                folded, self.states[vertex]
+            if on_significant is not None and is_significant(
+                folded, states[vertex]
             ):
                 on_significant(vertex)
         staged.clear()
@@ -303,6 +353,9 @@ class SimContext:
         self.metrics.set("sim.updates", self.updates)
         self.metrics.set("sim.edge_ops", self.edge_ops)
         self.metrics.set("sim.rounds", self.rounds)
+        # makespan as a metric so span cycle-shares (obs.span.<name>.cycles
+        # over obs.sim.cycles) are computable from the metrics sidecar alone
+        self.metrics.set("sim.cycles", max(self.clock) if self.clock else 0.0)
         result = ExecutionResult(
             system=self.system,
             algorithm=self.algorithm.name,

@@ -27,6 +27,13 @@ reconciled by the fictitious reset edge (Section III-B2).
 Unlike the frontier systems, chain propagation is core-local and explicit,
 so scatters commit directly instead of through the staged-visibility
 machinery — the locality/synchronisation advantage the paper claims.
+
+Dispatch, steal charging, round accounting, and result assembly come from
+:class:`repro.runtime.execore.ExecutionKernel`; the chain-walking policy
+here additionally keeps a :class:`repro.runtime.execore.PartWorkIndex` in
+lockstep with the circular queues so "which core has work" and "what does
+this partition's queue cost" are array reads instead of queue scans (the
+seed dispatch loop's top host-time cost at full scale).
 """
 
 from __future__ import annotations
@@ -51,18 +58,13 @@ from ..algorithms.base import Algorithm
 from ..graph.csr import CSRGraph
 from ..graph.partition import by_edge_count
 from ..hardware.config import HardwareConfig
-from ..hardware.noc import MeshNoC
-from .context import STEAL_CYCLES, SimContext
+from .execore import STEAL_CYCLES, ExecutionKernel, PartWorkIndex
 from .scheduling import (
-    RANDOM_POLICY,
     REBALANCE_MOVE_CYCLES,
-    CostEstimator,
-    SchedCounters,
     SchedulingPolicy,
-    VictimRanker,
     rebalance_ownership,
 )
-from .stats import ExecutionResult, RoundLog
+from .stats import ExecutionResult
 
 DEFAULT_MAX_ROUNDS = 4000
 
@@ -73,6 +75,8 @@ RESET_EDGE_CYCLES = 2
 #: partitions per core (the paper assigns several partitions to each core
 #: and balances them by work stealing)
 PARTITIONS_PER_CORE = 4
+
+_INF = float("inf")
 
 
 @dataclass(frozen=True)
@@ -109,22 +113,17 @@ class _DepGraphExecution:
         sched: Optional[SchedulingPolicy] = None,
     ) -> None:
         self.options = options
-        self.sched = sched or RANDOM_POLICY
         self.max_rounds = max_rounds
-        self.ctx = SimContext(
-            graph, algorithm, hardware, system, options.simd, tracer=tracer
+        self.kernel = ExecutionKernel(
+            graph, algorithm, hardware, system, options.simd,
+            tracer=tracer, sched=sched,
         )
+        kernel = self.kernel
+        self.ctx = kernel.ctx
+        self.sched = kernel.sched
         ctx = self.ctx
         cores = ctx.num_cores
-        self.estimator = CostEstimator([int(d) for d in ctx.graph.out_degrees()])
-        self.ranker = VictimRanker(
-            cores,
-            MeshNoC(
-                hardware.mesh_width, hardware.mesh_height, hardware.noc_hop_cycles
-            ),
-        )
-        self.sched_counters = SchedCounters(ctx.metrics, self.ranker)
-        self.sched_counters.flush_policy(self.sched)
+        kernel.declare_span("root")
 
         # --- software preprocessing: partitions + hub vertices (one pass) --
         if cores == 1:
@@ -150,6 +149,9 @@ class _DepGraphExecution:
         self.queues: List[LocalCircularQueue] = [
             LocalCircularQueue(p) for p in range(self.part_count)
         ]
+        #: incremental per-partition/per-core work accounting, kept in
+        #: lockstep with every queue mutation below
+        self.windex = PartWorkIndex(kernel.estimator, self.part_owner, cores)
         self.current_part: List[Optional[int]] = [None] * cores
 
         hubs = (
@@ -177,6 +179,10 @@ class _DepGraphExecution:
         self.claimed: Dict[int, Tuple[int, int, int]] = {}
 
         membership = self.hubsets.__contains__
+        # line-batched fetch dedup state, one per core: kind -> last line
+        self._last_fetch_line: List[Dict[str, int]] = [
+            {} for _ in range(cores)
+        ]
         if options.hardware:
             self.engines: Optional[List[DepGraphEngine]] = [
                 DepGraphEngine(
@@ -210,10 +216,6 @@ class _DepGraphExecution:
                 )
                 for core in range(cores)
             ]
-        # line-batched fetch dedup state, one per core: kind -> last line
-        self._last_fetch_line: List[Dict[str, int]] = [
-            {} for _ in range(cores)
-        ]
         for core, walker in enumerate(self.walkers):
             walker.in_partition = self._partition_check_for(core)
         if self.engines is not None:
@@ -222,6 +224,7 @@ class _DepGraphExecution:
         self.visited: Set[int] = set()
         self._expected_resets: Dict[Tuple[int, int, int], float] = {}
         self._learning_entries: Set[Tuple[int, int, int]] = set()
+        self._shortcuts_before = 0
 
     # ------------------------------------------------------------------
     def _partition_check_for(self, core: int):
@@ -238,68 +241,84 @@ class _DepGraphExecution:
         ctx = self.ctx
         layout = ctx.layout
         line = ctx.hardware.line_bytes
+        offsets_addr = layout.offsets.addr
+        targets_addr = layout.targets.addr
+        weights_addr = layout.weights.addr
+        states_addr = layout.states.addr
+        charge_mem = ctx.charge_mem
+        # _switch_part clears this dict in place, so the binding stays live
+        last = self._last_fetch_line[core]
 
         def fetch(kind: str, index: int) -> None:
             if kind == "offset":
-                addr = layout.offsets.addr(index)
+                addr = offsets_addr(index)
             elif kind == "neighbor":
-                addr = layout.targets.addr(index)
+                addr = targets_addr(index)
             elif kind == "weight":
-                addr = layout.weights.addr(index)
+                addr = weights_addr(index)
             else:
-                addr = layout.states.addr(index)
+                # state fetches are never line-deduped
+                charge_mem(core, states_addr(index))
+                return
             # successive fetches of the same cache line are free, matching
             # the per-line charging of the frontier runtimes
-            last = self._last_fetch_line[core]
             addr_line = addr // line
-            if last.get(kind) == addr_line and kind != "state":
+            if last.get(kind) == addr_line:
                 return
             last[kind] = addr_line
-            ctx.charge_mem(core, addr)
+            charge_mem(core, addr)
 
         return fetch
 
     def _filtered_engine_fetch(self, core: int, engine: DepGraphEngine):
-        def fetch(kind: str, index: int) -> None:
-            if self._engine_fetch_filter(core, kind, index):
-                engine._charge_fetch(kind, index)
-
-        return fetch
-
-    def _engine_fetch_filter(self, core: int, kind: str, index: int) -> bool:
         """Line dedup for the hardware engine's fetch stream."""
         layout = self.ctx.layout
         line = self.ctx.hardware.line_bytes
-        if kind == "offset":
-            addr = layout.offsets.addr(index)
-        elif kind == "neighbor":
-            addr = layout.targets.addr(index)
-        elif kind == "weight":
-            addr = layout.weights.addr(index)
-        else:
-            return True
+        offsets_addr = layout.offsets.addr
+        targets_addr = layout.targets.addr
+        weights_addr = layout.weights.addr
+        charge = engine._charge_fetch
+        # _switch_part clears this dict in place, so the binding stays live
         last = self._last_fetch_line[core]
-        addr_line = addr // line
-        if last.get(kind) == addr_line:
-            return False
-        last[kind] = addr_line
-        return True
+
+        def fetch(kind: str, index: int) -> None:
+            if kind == "offset":
+                addr = offsets_addr(index)
+            elif kind == "neighbor":
+                addr = targets_addr(index)
+            elif kind == "weight":
+                addr = weights_addr(index)
+            else:
+                charge(kind, index)
+                return
+            addr_line = addr // line
+            if last.get(kind) == addr_line:
+                return
+            last[kind] = addr_line
+            charge(kind, index)
+
+        return fetch
 
     # ------------------------------------------------------------------
     def run(self) -> ExecutionResult:
         ctx = self.ctx
+        kernel = self.kernel
+        windex = self.windex
+        queues = self.queues
         for vertex in ctx.initial_frontier():
-            self.queues[self._vertex_part[vertex]].push_current(vertex)
+            part = self._vertex_part[vertex]
+            if queues[part].push_current(vertex):
+                windex.pushed_current(part, vertex)
         converged = True
+        core_count = windex.core_count
         for round_index in range(self.max_rounds):
-            if all(q.current_empty for q in self.queues):
-                promoted = sum(q.advance_round() for q in self.queues)
+            if not any(core_count):
+                promoted = sum(q.advance_round() for q in queues)
+                windex.advance_round()
                 if promoted == 0:
                     break
-            ctx.rounds = round_index + 1
-            start_peak = max(ctx.clock)
-            updates_before = ctx.updates
-            active = sum(q.current_size() for q in self.queues)
+            start_peak, updates_before = kernel.begin_round(round_index)
+            active = sum(core_count)
             self.visited = set()
             if (
                 self.sched.partition_aware
@@ -310,24 +329,13 @@ class _DepGraphExecution:
             self._run_round()
             if self.options.ddmu_mode == "learned":
                 self._observe_learning_entries()
-            ctx.note_round(
-                round_index, active, ctx.updates - updates_before, start_peak
-            )
-            ctx.barrier()
-            ctx.round_log.append(
-                RoundLog(
-                    round_index,
-                    active,
-                    ctx.updates - updates_before,
-                    max(ctx.clock) - start_peak,
-                )
-            )
+            kernel.end_round(round_index, active, start_peak, updates_before)
         else:
             converged = False
         if self.engines is not None:
             ctx.engine_ops += sum(engine.ops for engine in self.engines)
         self._flush_metrics()
-        result = ctx.result(converged)
+        result = kernel.finish(converged)
         result.hub_index_entries = len(self.hub_index)
         result.hub_index_bytes = self.hub_index.memory_bytes
         # internal ids here; the registry maps them back to original
@@ -368,19 +376,20 @@ class _DepGraphExecution:
     # ------------------------------------------------------------------
     # Scheduling: cores drain their partitions' queues; idle cores steal
     # whole partitions (the engine is then reconfigured for the new range).
+    # The work index keeps per-core entry counts and per-partition queue
+    # costs current, so none of this rescans queues.
     # ------------------------------------------------------------------
     def _core_has_work(self, core: int) -> bool:
-        return any(
-            not self.queues[p].current_empty for p in self.core_parts[core]
-        )
+        return self.windex.core_count[core] > 0
 
     def _pick_part(self, core: int) -> Optional[int]:
+        counts = self.windex.count_current
         current = self.current_part[core]
         if current is not None and self.part_owner[current] == core:
-            if not self.queues[current].current_empty:
+            if counts[current]:
                 return current
         for part in self.core_parts[core]:
-            if not self.queues[part].current_empty:
+            if counts[part]:
                 return part
         return None
 
@@ -401,25 +410,18 @@ class _DepGraphExecution:
         else:
             self.ctx.charge_overhead(core, 8)
 
-    def _queued_cost(self, part: int) -> int:
-        """Estimated processing cost of a partition's queued roots."""
-        vertices = self.queues[part].current_vertices()
-        if not vertices:
-            return 0
-        return self.estimator.queue_cost(vertices)
-
     def _maybe_rebalance(self) -> None:
         """Between rounds: re-map partition ownership when the upcoming
         queue costs are skewed (the makespan histogram's p95 tail comes
         from rounds whose hot partitions all start on one core).  The
         barrier has just synchronised every clock, so charging the
         receiving cores is deterministic."""
-        part_costs = [self._queued_cost(p) for p in range(self.part_count)]
+        windex = self.windex
         new_owner = rebalance_ownership(
-            part_costs,
+            windex.cost_current,
             self.part_owner,
             self.ctx.num_cores,
-            self.ranker,
+            self.kernel.ranker,
             self.sched.rebalance_skew,
         )
         if new_owner is None:
@@ -430,99 +432,143 @@ class _DepGraphExecution:
             if old != new:
                 moves += 1
                 ctx.charge_overhead(new, REBALANCE_MOVE_CYCLES)
-        self.part_owner = new_owner
+        # mutate in place: the work index shares this list
+        self.part_owner[:] = new_owner
         self.core_parts = [[] for _ in range(ctx.num_cores)]
         for part, owner in enumerate(new_owner):
             self.core_parts[owner].append(part)
-        self.sched_counters.rebalance(moves)
-        if ctx.tracer.enabled:
-            ctx.tracer.instant(
-                "rebalance",
-                max(ctx.clock),
-                cat="sched",
-                args={"moves": moves},
-            )
+        windex.reassign(new_owner)
+        self.kernel.note_rebalance(moves)
 
     def _run_round(self) -> None:
         ctx = self.ctx
-        cores = range(ctx.num_cores)
+        kernel = self.kernel
+        windex = self.windex
+        num_cores = ctx.num_cores
+        clock = ctx.clock
+        core_count = windex.core_count
+        queues = self.queues
+        popped = windex.popped
+        process_item = kernel.process_item
+        root_args = self._root_span_args
+        handle = self._handle_root_inner
+        work_stealing = self.options.work_stealing
         steal = (
             self._maybe_steal_partition
             if self.sched.partition_aware
             else self._maybe_steal
         )
         while True:
-            candidates = [c for c in cores if self._core_has_work(c)]
-            if not candidates:
+            # fused dispatch scan: min-clock core holding work (ties to the
+            # lowest id) plus the working-core count for the steal gate
+            best = -1
+            best_clock = _INF
+            working = 0
+            for core in range(num_cores):
+                if core_count[core]:
+                    working += 1
+                    candidate = clock[core]
+                    if candidate < best_clock:
+                        best_clock = candidate
+                        best = core
+            if best < 0:
                 break
-            if self.options.work_stealing and len(candidates) < ctx.num_cores:
-                steal(candidates)
-                candidates = [c for c in cores if self._core_has_work(c)]
-            core = min(candidates, key=lambda c: ctx.clock[c])
-            part = self._pick_part(core)
+            if work_stealing and working < num_cores:
+                steal()
+                # ownership may have moved: re-derive the dispatch choice
+                best = -1
+                best_clock = _INF
+                for core in range(num_cores):
+                    if core_count[core]:
+                        candidate = clock[core]
+                        if candidate < best_clock:
+                            best_clock = candidate
+                            best = core
+                if best < 0:  # pragma: no cover - steals never consume work
+                    break
+            part = self._pick_part(best)
             if part is None:  # pragma: no cover - defensive
                 continue
-            self._switch_part(core, part)
-            root = self.queues[part].pop()
+            self._switch_part(best, part)
+            root = queues[part].pop()
             if root is not None:
-                self._handle_root(core, root)
+                popped(part, root)
+                process_item("root", "chain", best, root, handle, root_args)
 
-    def _maybe_steal(self, candidates: List[int]) -> None:
+    def _maybe_steal(self) -> None:
         """An idle core claims a pending partition from the busiest core
         (the seed scheduler, preserved as ``steal_policy="random"``)."""
         ctx = self.ctx
-        self.sched_counters.attempt()
-
-        def load(core: int) -> int:
-            return sum(
-                self.queues[p].current_size() for p in self.core_parts[core]
-            )
-
-        busiest = max(candidates, key=load)
+        self.kernel.sched_counters.attempt()
+        windex = self.windex
+        core_count = windex.core_count
+        count_current = windex.count_current
+        clock = ctx.clock
+        busiest = -1
+        busiest_load = 0
+        for core in range(ctx.num_cores):
+            load = core_count[core]
+            if load > busiest_load:
+                busiest_load = load
+                busiest = core
+        if busiest < 0:  # pragma: no cover - only called with work present
+            return
         busy_parts = [
-            p
-            for p in self.core_parts[busiest]
-            if not self.queues[p].current_empty
+            p for p in self.core_parts[busiest] if count_current[p]
         ]
         if len(busy_parts) < 2:
             return
-        idle = [
-            c
-            for c in range(ctx.num_cores)
-            if not self._core_has_work(c) and ctx.clock[c] < ctx.clock[busiest]
-        ]
-        if not idle:
+        busy_clock = clock[busiest]
+        thief = -1
+        thief_clock = _INF
+        for core in range(ctx.num_cores):
+            if not core_count[core] and clock[core] < busy_clock:
+                if clock[core] < thief_clock:
+                    thief_clock = clock[core]
+                    thief = core
+        if thief < 0:
             return
-        thief = min(idle, key=lambda c: ctx.clock[c])
         part = busy_parts[-1]
         self._move_partitions(thief, busiest, [part], STEAL_CYCLES)
 
-    def _maybe_steal_partition(self, candidates: List[int]) -> None:
+    def _maybe_steal_partition(self) -> None:
         """Partition-aware chunked steal: the idle core that is furthest
         behind picks a NoC-near victim holding substantial estimated work
         and claims half of its pending partitions — preferring partitions
         whose vertex ranges sit adjacent to the thief's own."""
         ctx = self.ctx
-        self.sched_counters.attempt()
-        idle = [c for c in range(ctx.num_cores) if not self._core_has_work(c)]
-        if not idle:
+        kernel = self.kernel
+        kernel.sched_counters.attempt()
+        windex = self.windex
+        core_count = windex.core_count
+        count_current = windex.count_current
+        cost_current = windex.cost_current
+        clock = ctx.clock
+        num_cores = ctx.num_cores
+        thief = -1
+        thief_clock = _INF
+        for core in range(num_cores):
+            if not core_count[core] and clock[core] < thief_clock:
+                thief_clock = clock[core]
+                thief = core
+        if thief < 0:
             return
-        thief = min(idle, key=lambda c: ctx.clock[c])
-        loads = [0] * ctx.num_cores
-        for core in candidates:
-            busy = [
-                p for p in self.core_parts[core]
-                if not self.queues[p].current_empty
-            ]
-            if len(busy) >= 2:
-                loads[core] = sum(self._queued_cost(p) for p in busy)
-        victim = self.ranker.choose(thief, loads, min_load=1.0)
-        if victim is None or ctx.clock[thief] >= ctx.clock[victim]:
+        loads = [0] * num_cores
+        for core in range(num_cores):
+            if core_count[core]:
+                busy = 0
+                cost = 0
+                for p in self.core_parts[core]:
+                    if count_current[p]:
+                        busy += 1
+                        cost += cost_current[p]
+                if busy >= 2:
+                    loads[core] = cost
+        victim = kernel.ranker.choose(thief, loads, min_load=1.0)
+        if victim is None or clock[thief] >= clock[victim]:
             return
         busy_parts = [
-            p
-            for p in self.core_parts[victim]
-            if not self.queues[p].current_empty
+            p for p in self.core_parts[victim] if count_current[p]
         ]
         if len(busy_parts) < 2:
             return
@@ -534,92 +580,75 @@ class _DepGraphExecution:
         def adjacency(part: int) -> int:
             return min(abs(part - a) for a in anchors)
 
-        part_cost = {p: self._queued_cost(p) for p in busy_parts}
         ranked = sorted(
-            busy_parts, key=lambda p: (-part_cost[p], adjacency(p), p)
+            busy_parts, key=lambda p: (-cost_current[p], adjacency(p), p)
         )
         # chunked steal: claim heavy partitions until about half the
         # victim's queued cost has moved, always leaving it at least one
-        victim_cost = sum(part_cost.values())
+        victim_cost = sum(cost_current[p] for p in busy_parts)
         chosen: List[int] = []
         taken_cost = 0
         for part in ranked[: len(busy_parts) - 1]:
             chosen.append(part)
-            taken_cost += part_cost[part]
+            taken_cost += cost_current[part]
             if taken_cost * 2 >= victim_cost:
                 break
-        cost = (
-            STEAL_CYCLES
-            + self.sched.hop_penalty_cycles * self.ranker.hops(thief, victim)
+        self._move_partitions(
+            thief, victim, chosen, kernel.steal_cost(thief, victim)
         )
-        self._move_partitions(thief, victim, chosen, cost)
 
     def _move_partitions(
         self, thief: int, victim: int, parts: List[int], cost: float
     ) -> None:
-        ctx = self.ctx
+        windex = self.windex
+        count_current = windex.count_current
+        cost_current = windex.cost_current
+        items = 0
+        work = 0
         for part in parts:
             self.core_parts[victim].remove(part)
             self.core_parts[thief].append(part)
+            windex.move_part(part, thief)
             self.part_owner[part] = thief
-        ctx.charge_overhead(thief, cost)
-        self.sched_counters.steal(
+            items += count_current[part]
+            work += cost_current[part]
+        self.ctx.charge_overhead(thief, cost)
+        self.kernel.note_steal(
             thief,
             victim,
-            sum(self.queues[p].current_size() for p in parts),
-            float(sum(self._queued_cost(p) for p in parts)),
+            items,
+            float(work),
+            args={"partitions": list(parts), "victim": victim},
         )
-        if ctx.tracer.enabled:
-            ctx.tracer.instant(
-                "steal",
-                ctx.clock[thief],
-                track=thief + 1,
-                cat="sched",
-                args={"partitions": list(parts), "victim": victim},
-            )
 
     # ------------------------------------------------------------------
-    def _handle_root(self, core: int, root: int) -> None:
-        tracer = self.ctx.tracer
-        if not tracer.enabled:
-            self._handle_root_inner(core, root)
-            return
-        t0 = self.ctx.clock[core]
-        shortcuts_before = self.ctx.shortcut_applications
-        self._handle_root_inner(core, root)
-        tracer.span(
-            "root",
-            t0,
-            self.ctx.clock[core] - t0,
-            track=core + 1,
-            cat="chain",
-            args={
-                "vertex": root,
-                "shortcuts": self.ctx.shortcut_applications - shortcuts_before,
-            },
-        )
+    def _root_span_args(self, root: int) -> dict:
+        return {
+            "vertex": root,
+            "shortcuts": self.ctx.shortcut_applications - self._shortcuts_before,
+        }
 
     def _handle_root_inner(self, core: int, root: int) -> None:
         ctx = self.ctx
         layout = ctx.layout
         timing = ctx.timing
+        self._shortcuts_before = ctx.shortcut_applications
 
         ctx.charge_overhead(core, timing.dispatch_op)
         ctx.charge_mem(core, layout.queues.addr(core % layout.queues.length))
         if root in self.visited:
             if ctx.significant(ctx.pending[root], root):
-                self.queues[self._vertex_part[root]].push_next(root)
+                part = self._vertex_part[root]
+                if self.queues[part].push_next(root):
+                    self.windex.pushed_next(part, root)
             return
-        ctx.charge_mem(core, layout.deltas.addr(root), state=True)
-        ctx.charge_mem(core, layout.states.addr(root), state=True)
+        ctx.charge_state_entry(core, root)
         delta = ctx.pending[root]
         if not ctx.significant(delta, root):
             return
         ctx.pending[root] = ctx.identity
         value = ctx.apply_vertex(root, delta)
-        ctx.charge_mem(core, layout.states.addr(root), write=True, state=True)
-        ctx.charge_mem(core, layout.deltas.addr(root), write=True, state=True)
-        ctx.charge_compute(core, timing.update_op)
+        ctx.charge_state_update(core, root)
 
         engine = self.engines[core] if self.engines is not None else None
         if engine is not None:
@@ -697,9 +726,11 @@ class _DepGraphExecution:
             write=True,
         )
         if vertex not in self.visited:
-            queue.push_current(vertex, remote=owner_core != core)
+            if queue.push_current(vertex, remote=owner_core != core):
+                self.windex.pushed_current(part, vertex)
         elif ctx.significant(ctx.pending[vertex], vertex):
-            queue.push_next(vertex, remote=owner_core != core)
+            if queue.push_next(vertex, remote=owner_core != core):
+                self.windex.pushed_next(part, vertex)
 
     # ------------------------------------------------------------------
     def _walk_chain(
@@ -708,19 +739,22 @@ class _DepGraphExecution:
         walker = self.walkers[core]
         software = engine is None
         root_is_hub = self.hub_active and root in self.hubsets
+        on_edge = self._on_edge
+        on_path_end = self._on_path_end
 
         gen = walker.traverse(root, self.visited)
+        send = gen.send
         response: Optional[bool] = None
         while True:
             try:
-                event = gen.send(response) if response is not None else next(gen)
+                event = send(response) if response is not None else next(gen)
             except StopIteration:
                 break
             response = False
-            if isinstance(event, EdgeFetch):
-                response = self._on_edge(core, event, engine, software)
-            elif isinstance(event, PathEnd):
-                self._on_path_end(core, event, engine, root_is_hub)
+            if type(event) is EdgeFetch:
+                response = on_edge(core, event, engine, software)
+            elif type(event) is PathEnd:
+                on_path_end(core, event, engine, root_is_hub)
 
     def _on_edge(
         self,

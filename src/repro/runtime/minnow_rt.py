@@ -11,6 +11,11 @@ What Minnow does *not* do — and where DepGraph wins (Figure 11/12) — is
 follow dependency chains: every hop of a propagation is a separate worklist
 round-trip through the priority queue, each paying queue traffic and a fresh
 (if prefetched) vertex access, and long chains still serialise across pops.
+
+The worklist policy drives :class:`repro.runtime.execore.ExecutionKernel`:
+the kernel owns min-clock dispatch, the staged-delta flush cadence
+(:data:`repro.runtime.execore.FLUSH_INTERVAL` — previously a private copy
+here), steal charging, and result assembly.
 """
 
 from __future__ import annotations
@@ -23,23 +28,16 @@ from ..algorithms.base import Algorithm
 from ..algorithms.detect import AccumKind
 from ..graph.csr import CSRGraph
 from ..hardware.config import HardwareConfig
-from ..hardware.noc import MeshNoC
-from .context import STEAL_CYCLES, SimContext
-from .scheduling import (
-    RANDOM_POLICY,
-    CostEstimator,
-    SchedCounters,
-    SchedulingPolicy,
-    VictimRanker,
-)
+from .execore import ExecutionKernel
+from .scheduling import SchedulingPolicy
 from .stats import ExecutionResult, RoundLog
 
 #: core-side cost of an offloaded worklist operation (near-free)
 WORKLIST_OP_CYCLES = 1
-#: vertex-processings between a core's delta-visibility points
-FLUSH_INTERVAL = 32
 #: safety valve against livelock in non-converging configurations
 MAX_POPS_FACTOR = 400
+
+_INF = float("inf")
 
 
 class _MinnowExecution:
@@ -51,168 +49,172 @@ class _MinnowExecution:
         tracer=None,
         sched: Optional[SchedulingPolicy] = None,
     ) -> None:
-        self.sched = sched or RANDOM_POLICY
-        self.ctx = SimContext(
-            graph, algorithm, hardware, "minnow", simd=True, tracer=tracer
+        self.kernel = ExecutionKernel(
+            graph, algorithm, hardware, "minnow", simd=True,
+            tracer=tracer, sched=sched,
         )
+        kernel = self.kernel
+        self.ctx = kernel.ctx
+        self.sched = kernel.sched
         ctx = self.ctx
+        kernel.declare_span("pop")
         self.worklists: List[MinnowWorklist] = [
             MinnowWorklist(core) for core in range(ctx.num_cores)
         ]
         self.prefetchers: List[PrefetchTimeline] = [
             PrefetchTimeline() for _ in range(ctx.num_cores)
         ]
-        self.estimator = CostEstimator([int(d) for d in ctx.graph.out_degrees()])
-        self.ranker = VictimRanker(
-            ctx.num_cores,
-            MeshNoC(
-                hardware.mesh_width, hardware.mesh_height, hardware.noc_hop_cycles
-            ),
-        )
-        self.sched_counters = SchedCounters(ctx.metrics, self.ranker)
-        self.sched_counters.flush_policy(self.sched)
+        # Urgency is a pure function of the algorithm's accumulator kind,
+        # so resolve it once instead of re-detecting per push.
+        if ctx.accum_kind is AccumKind.SUM:
+            self._urgency = lambda pending: -abs(pending)
+        elif ctx.algorithm.accum(0.0, 1.0) == 0.0:  # min-style
+            self._urgency = lambda pending: pending
+        else:  # max-style: large values first
+            self._urgency = lambda pending: -pending
 
     # ------------------------------------------------------------------
     def _priority(self, vertex: int, value: Optional[float] = None) -> float:
         """Smaller = more urgent; ``value`` overrides the committed pending
         (the pushing core ranks by the delta it can see)."""
-        ctx = self.ctx
-        pending = ctx.pending[vertex] if value is None else value
-        if ctx.accum_kind is AccumKind.SUM:
-            return -abs(pending)
-        # min algorithms: small tentative values first; max: large first
-        if ctx.algorithm.accum(0.0, 1.0) == 0.0:  # min-style
-            return pending
-        return -pending
+        pending = self.ctx.pending[vertex] if value is None else value
+        return self._urgency(pending)
 
     def run(self, max_pops: Optional[int] = None) -> ExecutionResult:
         ctx = self.ctx
-        algorithm = ctx.algorithm
-        layout = ctx.layout
-        timing = ctx.timing
+        kernel = self.kernel
         graph = ctx.graph
-        line = ctx.hardware.line_bytes
         if max_pops is None:
             max_pops = MAX_POPS_FACTOR * max(1, graph.num_vertices)
 
+        worklists = self.worklists
+        pending = ctx.pending
+        urgency = self._urgency
+        owner_of = ctx.owner_of
         for vertex in ctx.initial_frontier():
-            self.worklists[ctx.owner_of(vertex)].push(
-                vertex, self._priority(vertex)
-            )
+            worklists[owner_of(vertex)].push(vertex, urgency(pending[vertex]))
         pops = 0
-        since_flush = [0] * ctx.num_cores
         converged = True
 
         def activate(vertex: int) -> None:
-            self.worklists[ctx.owner_of(vertex)].push(
-                vertex, self._priority(vertex)
-            )
+            worklists[owner_of(vertex)].push(vertex, urgency(pending[vertex]))
 
+        # Dispatch hot path: heapq mutates each worklist's heap list in
+        # place, so the list identities are stable and one fused scan over
+        # them finds the min-clock non-empty core (ties to the lowest id,
+        # matching the seed's candidates-list + min()) and counts the
+        # non-empty cores for the steal precondition.
+        heaps = [w._heap for w in worklists]
+        clock = ctx.clock
+        num_cores = ctx.num_cores
+        partition_aware = self.sched.partition_aware
+        tracer = ctx.tracer
+        process = self._process_inner
+        tick_flush = kernel.tick_flush
+        process_item = kernel.process_item
         while True:
-            candidates = [
-                c for c in range(ctx.num_cores) if not self.worklists[c].empty
-            ]
-            if not candidates:
+            best = -1
+            best_clock = _INF
+            nonempty = 0
+            core = 0
+            for heap in heaps:
+                if heap:
+                    nonempty += 1
+                    candidate = clock[core]
+                    if candidate < best_clock:
+                        best_clock = candidate
+                        best = core
+                core += 1
+            if best < 0:
                 # quiescence: publish all staged deltas; late arrivals
                 # re-activate their vertices.
-                for core in range(ctx.num_cores):
-                    ctx.flush_staged(core, activate)
-                if all(w.empty for w in self.worklists):
+                kernel.flush_all(activate, reset=False)
+                if not any(heaps):
                     break
                 continue
             if pops >= max_pops:
                 converged = False
                 break
-            core = min(candidates, key=lambda c: ctx.clock[c])
+            core = best
             if (
-                self.sched.partition_aware
-                and len(candidates) < ctx.num_cores
-                and self._maybe_steal(candidates, ctx.clock[core])
+                partition_aware
+                and nonempty < num_cores
+                and self._maybe_steal(heaps, clock[core])
             ):
                 continue
-            vertex = self.worklists[core].pop()
+            vertex = worklists[core].pop()
             if vertex is None:
                 continue
             pops += 1
-            self._process(core, vertex)
-            since_flush[core] += 1
-            if since_flush[core] >= FLUSH_INTERVAL:
-                ctx.flush_staged(core, activate)
-                since_flush[core] = 0
-                if ctx.tracer.enabled:
-                    ctx.tracer.counter(
-                        "worklist_backlog",
-                        ctx.clock[core],
-                        {"entries": float(sum(len(w) for w in self.worklists))},
-                    )
+            process_item("pop", "worklist", core, vertex, process)
+            if tick_flush(core, activate) and tracer.enabled:
+                tracer.counter(
+                    "worklist_backlog",
+                    clock[core],
+                    {"entries": float(sum(len(w) for w in worklists))},
+                )
         ctx.rounds = 1
         ctx.engine_ops += sum(engine.ops for engine in self.prefetchers)
-        ctx.engine_ops += sum(w.pushes + w.pops for w in self.worklists)
+        ctx.engine_ops += sum(w.pushes + w.pops for w in worklists)
         metrics = ctx.metrics
-        metrics.set("worklist.pushes", float(sum(w.pushes for w in self.worklists)))
-        metrics.set("worklist.pops", float(sum(w.pops for w in self.worklists)))
+        metrics.set("worklist.pushes", float(sum(w.pushes for w in worklists)))
+        metrics.set("worklist.pops", float(sum(w.pops for w in worklists)))
         metrics.set(
             "worklist.stale_pops",
-            float(sum(w.stale_pops for w in self.worklists)),
+            float(sum(w.stale_pops for w in worklists)),
         )
-        result = ctx.result(converged)
+        result = kernel.finish(converged)
         result.round_log.append(RoundLog(0, pops, ctx.updates, result.cycles))
         return result
 
     # ------------------------------------------------------------------
-    def _maybe_steal(self, candidates: List[int], busy_clock: float) -> bool:
+    def _maybe_steal(self, heaps: List[list], busy_clock: float) -> bool:
         """Partition-aware stealing for the continuous worklist model: an
         idle core that has fallen behind the simulated present grabs half
         of a NoC-near victim's pending entries.  The seed Minnow never
         stole (activations always land on the owner core), so this path
         only exists under ``steal_policy="partition"``."""
         ctx = self.ctx
-        idle = [
-            c
-            for c in range(ctx.num_cores)
-            if self.worklists[c].empty and ctx.clock[c] < busy_clock
-        ]
-        if not idle:
+        kernel = self.kernel
+        clock = ctx.clock
+        worklists = self.worklists
+        thief = -1
+        thief_clock = _INF
+        for core in range(ctx.num_cores):
+            if not heaps[core] and clock[core] < busy_clock:
+                if clock[core] < thief_clock:
+                    thief_clock = clock[core]
+                    thief = core
+        if thief < 0:
             return False
-        self.sched_counters.attempt()
-        thief = min(idle, key=lambda c: ctx.clock[c])
+        kernel.sched_counters.attempt()
         loads = [
-            float(self.worklists[c].valid_entries) if c in candidates else 0.0
+            float(worklists[c].valid_entries) if heaps[c] else 0.0
             for c in range(ctx.num_cores)
         ]
-        victim = self.ranker.choose(thief, loads, min_load=4.0)
+        victim = kernel.ranker.choose(thief, loads, min_load=4.0)
         if victim is None:
             return False
-        take = self.worklists[victim].valid_entries // 2
+        take = worklists[victim].valid_entries // 2
         stolen: List[int] = []
         for _ in range(take):
-            vertex = self.worklists[victim].pop()
+            vertex = worklists[victim].pop()
             if vertex is None:
                 break
             stolen.append(vertex)
         if not stolen:
             return False
+        pending = ctx.pending
+        urgency = self._urgency
         for vertex in stolen:
-            self.worklists[thief].push(vertex, self._priority(vertex))
-        ctx.charge_overhead(
-            thief,
-            STEAL_CYCLES
-            + self.sched.hop_penalty_cycles * self.ranker.hops(thief, victim),
-        )
-        self.sched_counters.steal(
+            worklists[thief].push(vertex, urgency(pending[vertex]))
+        kernel.charge_steal(thief, victim)
+        kernel.note_steal(
             thief,
             victim,
             len(stolen),
-            float(self.estimator.queue_cost(stolen)),
+            float(kernel.estimator.queue_cost(stolen)),
         )
-        if ctx.tracer.enabled:
-            ctx.tracer.instant(
-                "steal",
-                ctx.clock[thief],
-                track=thief + 1,
-                cat="sched",
-                args={"victim": victim, "taken": len(stolen)},
-            )
         return True
 
     # ------------------------------------------------------------------
@@ -227,22 +229,6 @@ class _MinnowExecution:
         ctx.charge_mem(core, addr)
         engine.note_consumed(ctx.clock[core])
 
-    def _process(self, core: int, vertex: int) -> None:
-        tracer = self.ctx.tracer
-        if not tracer.enabled:
-            self._process_inner(core, vertex)
-            return
-        t0 = self.ctx.clock[core]
-        self._process_inner(core, vertex)
-        tracer.span(
-            "pop",
-            t0,
-            self.ctx.clock[core] - t0,
-            track=core + 1,
-            cat="worklist",
-            args={"vertex": vertex},
-        )
-
     def _process_inner(self, core: int, vertex: int) -> None:
         ctx = self.ctx
         algorithm = ctx.algorithm
@@ -250,52 +236,91 @@ class _MinnowExecution:
         timing = ctx.timing
         graph = ctx.graph
         line = ctx.hardware.line_bytes
+        # the prefetched-read sequence runs per touched line, so bind its
+        # pieces once per pop rather than per call
+        engine = self.prefetchers[core]
+        fetch = engine.fetch
+        note_consumed = engine.note_consumed
+        mem_cost = ctx.mem_cost
+        charge_mem = ctx.charge_mem
+        charge_overhead = ctx.charge_overhead
+        clock = ctx.clock
 
-        ctx.charge_overhead(core, WORKLIST_OP_CYCLES)
-        self._prefetched_read(core, layout.deltas.addr(vertex))
-        self._prefetched_read(core, layout.states.addr(vertex))
+        charge_overhead(core, WORKLIST_OP_CYCLES)
+        for addr in (layout.deltas.addr(vertex), layout.states.addr(vertex)):
+            ready = fetch(mem_cost(core, addr))
+            if ready > clock[core]:
+                charge_overhead(core, ready - clock[core])
+            charge_mem(core, addr)
+            note_consumed(clock[core])
         delta = ctx.visible_pending(core, vertex)
         if not algorithm.is_significant(delta, ctx.states[vertex]):
             return
         ctx.consume_pending(core, vertex)
         value = ctx.apply_vertex(vertex, delta)
-        ctx.charge_mem(core, layout.states.addr(vertex), write=True, state=True)
-        ctx.charge_mem(core, layout.deltas.addr(vertex), write=True, state=True)
-        ctx.charge_compute(core, timing.update_op)
+        ctx.charge_state_update(core, vertex)
         if ctx.is_sum and value == 0.0:
             return
 
-        self._prefetched_read(core, layout.offsets.addr(vertex))
+        addr = layout.offsets.addr(vertex)
+        ready = fetch(mem_cost(core, addr))
+        if ready > clock[core]:
+            charge_overhead(core, ready - clock[core])
+        charge_mem(core, addr)
+        note_consumed(clock[core])
         begin, end = graph.edge_range(vertex)
         last_target_line = -1
         last_weight_line = -1
+        is_weighted = graph.is_weighted
+        targets = graph.targets
+        weights = graph.weights
+        edge_compute = algorithm.edge_compute
+        is_significant = algorithm.is_significant
+        charge_compute = ctx.charge_compute
+        charge_rmw = ctx.charge_rmw
+        stage_scatter = ctx.stage_scatter
+        states = ctx.states
+        owner_of = ctx.owner_of
+        worklists = self.worklists
+        urgency = self._urgency
+        target_area = layout.targets
+        weight_area = layout.weights
+        delta_area = layout.deltas
+        state_area = layout.states
+        edge_op = timing.edge_op
+        is_sum = ctx.is_sum
         for e in range(begin, end):
-            target_addr = layout.targets.addr(e)
+            target_addr = target_area.addr(e)
             if target_addr // line != last_target_line:
                 last_target_line = target_addr // line
-                self._prefetched_read(core, target_addr)
-            target = int(graph.targets[e])
-            if graph.is_weighted:
-                weight_addr = layout.weights.addr(e)
+                ready = fetch(mem_cost(core, target_addr))
+                if ready > clock[core]:
+                    charge_overhead(core, ready - clock[core])
+                charge_mem(core, target_addr)
+                note_consumed(clock[core])
+            target = int(targets[e])
+            if is_weighted:
+                weight_addr = weight_area.addr(e)
                 if weight_addr // line != last_weight_line:
                     last_weight_line = weight_addr // line
-                    self._prefetched_read(core, weight_addr)
-                weight = graph.weights[e]
+                    ready = fetch(mem_cost(core, weight_addr))
+                    if ready > clock[core]:
+                        charge_overhead(core, ready - clock[core])
+                    charge_mem(core, weight_addr)
+                    note_consumed(clock[core])
+                weight = weights[e]
             else:
                 weight = 1.0
-            influence = algorithm.edge_compute(vertex, value, weight, graph)
+            influence = edge_compute(vertex, value, weight, graph)
             ctx.edge_ops += 1
-            ctx.charge_compute(core, timing.edge_op)
-            visible = ctx.stage_scatter(core, target, influence)
-            ctx.charge_rmw(core, layout.deltas.addr(target))
-            if not ctx.is_sum:
-                ctx.charge_mem(core, layout.states.addr(target), state=True)
-            if algorithm.is_significant(visible, ctx.states[target]):
-                owner = ctx.owner_of(target)
-                self.worklists[owner].push(
-                    target, self._priority(target, visible)
-                )
-                ctx.charge_overhead(core, WORKLIST_OP_CYCLES)
+            charge_compute(core, edge_op)
+            visible = stage_scatter(core, target, influence)
+            charge_rmw(core, delta_area.addr(target))
+            if not is_sum:
+                charge_mem(core, state_area.addr(target), state=True)
+            if is_significant(visible, states[target]):
+                worklists[owner_of(target)].push(target, urgency(visible))
+                charge_overhead(core, WORKLIST_OP_CYCLES)
 
 
 def run_minnow(

@@ -8,9 +8,8 @@ round.  A :class:`RoundPolicy` captures what distinguishes them:
 * ``synchronous`` — BSP visibility: a vertex's apply consumes only deltas
   published in earlier rounds (Ligra/Mosaic/Wonderland); asynchronous
   systems also consume deltas staged by their own core within the round and
-  see other cores' deltas at periodic flushes;
-* ``flush_interval`` — how many vertex-processings sit between an
-  asynchronous core's visibility points (cross-core staleness window);
+  see other cores' deltas at the kernel's periodic flushes
+  (:data:`repro.runtime.execore.FLUSH_INTERVAL`);
 * ``ordering`` — how each core orders its slice of the frontier (vertex id,
   hubs-first abstraction priority, DFS path order, or HATS's bounded-DFS);
 * ``prefetch`` — a HATS-style engine overlaps sequential fetches;
@@ -19,16 +18,14 @@ round.  A :class:`RoundPolicy` captures what distinguishes them:
 * ``simd`` — whether state processing is vectorised (the paper's Ligra-o
   and DepGraph-S are SIMD-optimised; plain Ligra is not).
 
-The dispatch loop is the deterministic event interleaving described in
-DESIGN.md: the core with the smallest clock always runs next, so load
-imbalance emerges reproducibly, while the staged-delta discipline produces
-the cross-core staleness (and hence the redundant updates) that Section II
-measures.
+The simulation machinery — deterministic min-clock dispatch, staged-delta
+flush discipline, steal charging, round/convergence accounting — lives in
+:class:`repro.runtime.execore.ExecutionKernel`; this module is the frontier
+*policy* driving it.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -37,17 +34,9 @@ from ..accel.phi import PHIUpdateBuffer
 from ..algorithms.base import Algorithm
 from ..graph.csr import CSRGraph
 from ..hardware.config import HardwareConfig
-from ..hardware.noc import MeshNoC
-from .context import STEAL_CYCLES, SimContext
-from .scheduling import (
-    RANDOM_POLICY,
-    CostEstimator,
-    SchedCounters,
-    SchedulingPolicy,
-    VictimRanker,
-    chunk_split,
-)
-from .stats import ExecutionResult, RoundLog
+from .execore import ExecutionKernel, next_core
+from .scheduling import SchedulingPolicy, chunk_split
+from .stats import ExecutionResult
 
 #: safety valve against non-converging configurations
 DEFAULT_MAX_ROUNDS = 4000
@@ -65,7 +54,6 @@ class RoundPolicy:
     phi: bool = False
     atomic_cycles: int = 6
     work_stealing: bool = True
-    flush_interval: int = 32
 
 
 #: the published software baselines (Section II / IV)
@@ -95,7 +83,7 @@ POLICIES = {
 
 
 class _RoundEngine:
-    """One full round-based execution."""
+    """One full round-based execution (a frontier policy over the kernel)."""
 
     def __init__(
         self,
@@ -108,23 +96,18 @@ class _RoundEngine:
         sched: Optional[SchedulingPolicy] = None,
     ) -> None:
         self.policy = policy
-        self.sched = sched or RANDOM_POLICY
-        self.ctx = SimContext(
-            graph, algorithm, hardware, policy.name, policy.simd, tracer=tracer
+        self.kernel = ExecutionKernel(
+            graph, algorithm, hardware, policy.name, policy.simd,
+            tracer=tracer, sched=sched,
         )
+        kernel = self.kernel
+        self.ctx = kernel.ctx
+        self.sched = kernel.sched
         self.max_rounds = max_rounds
         ctx = self.ctx
         n = ctx.graph.num_vertices
-        self.degrees = [int(d) for d in ctx.graph.out_degrees()]
-        self.estimator = CostEstimator(self.degrees)
-        self.ranker = VictimRanker(
-            ctx.num_cores,
-            MeshNoC(
-                hardware.mesh_width, hardware.mesh_height, hardware.noc_hop_cycles
-            ),
-        )
-        self.sched_counters = SchedCounters(ctx.metrics, self.ranker)
-        self.sched_counters.flush_policy(self.sched)
+        self.degrees = kernel.estimator.degrees
+        kernel.declare_span("vertex")
         self.in_next = bytearray(n)
         self.next_frontier: List[int] = []
         self.prefetchers = (
@@ -146,37 +129,26 @@ class _RoundEngine:
     # ------------------------------------------------------------------
     def run(self) -> ExecutionResult:
         ctx = self.ctx
+        kernel = self.kernel
         frontier = ctx.initial_frontier()
         converged = True
         for round_index in range(self.max_rounds):
             if not frontier:
                 break
-            ctx.rounds = round_index + 1
-            start_peak = max(ctx.clock)
-            updates_before = ctx.updates
+            start_peak, updates_before = kernel.begin_round(round_index)
             self._run_round(frontier)
-            for core in range(ctx.num_cores):
-                ctx.flush_staged(core, self._activate)
+            kernel.flush_all(self._activate)
             if self.phi_buffers is not None:
                 self._flush_phi()
-            ctx.note_round(
-                round_index, len(frontier), ctx.updates - updates_before, start_peak
-            )
-            ctx.barrier()
-            ctx.round_log.append(
-                RoundLog(
-                    round_index,
-                    len(frontier),
-                    ctx.updates - updates_before,
-                    max(ctx.clock) - start_peak,
-                )
+            kernel.end_round(
+                round_index, len(frontier), start_peak, updates_before
             )
             frontier = self.next_frontier
             self.next_frontier = []
             self.in_next = bytearray(ctx.graph.num_vertices)
         else:
             converged = False
-        return ctx.result(converged)
+        return kernel.finish(converged)
 
     # ------------------------------------------------------------------
     def _activate(self, vertex: int) -> None:
@@ -195,48 +167,57 @@ class _RoundEngine:
 
     def _run_round(self, frontier: List[int]) -> None:
         ctx = self.ctx
+        kernel = self.kernel
         active = set(frontier)
-        queues: List[List[int]] = [[] for _ in range(ctx.num_cores)]
+        num_cores = ctx.num_cores
+        queues: List[List[int]] = [[] for _ in range(num_cores)]
         for v in frontier:
             queues[ctx.owner_of(v)].append(v)
-        for core in range(ctx.num_cores):
+        for core in range(num_cores):
             if queues[core]:
                 queues[core] = self._order(queues[core], active)
-        cursors = [0] * ctx.num_cores
-        since_flush = [0] * ctx.num_cores
-        heap = [(ctx.clock[c], c) for c in range(ctx.num_cores) if queues[c]]
-        heapq.heapify(heap)
-        while heap:
-            _, core = heapq.heappop(heap)
+        cursors = [0] * num_cores
+        # Every core with work contributes one min-clock dispatch entry
+        # keyed by its live clock, so one fused scan (execore.next_core)
+        # reproduces the seed's heap pop order exactly — a core leaves the
+        # live set only when its cursor is exhausted and a steal fails.
+        live = bytearray(num_cores)
+        for core in range(num_cores):
+            if queues[core]:
+                live[core] = 1
+        clock = ctx.clock
+        work_stealing = self.policy.work_stealing
+        partition_aware = self.sched.partition_aware
+        synchronous = self.policy.synchronous
+        process = self._process_vertex_inner
+        while True:
+            core = next_core(clock, live)
+            if core < 0:
+                break
             if cursors[core] >= len(queues[core]):
-                if self.policy.work_stealing:
+                if work_stealing:
                     stole = (
                         self._steal_partition(core, queues, cursors)
-                        if self.sched.partition_aware
+                        if partition_aware
                         else self._steal(core, queues, cursors)
                     )
                     if stole:
-                        heapq.heappush(heap, (ctx.clock[core], core))
+                        continue
+                live[core] = 0
                 continue
             vertex = queues[core][cursors[core]]
             cursors[core] += 1
-            self._process_vertex(core, vertex)
-            since_flush[core] += 1
-            if (
-                not self.policy.synchronous
-                and since_flush[core] >= self.policy.flush_interval
-            ):
-                ctx.flush_staged(core, self._activate)
-                since_flush[core] = 0
-            heapq.heappush(heap, (ctx.clock[core], core))
+            kernel.process_item("vertex", "frontier", core, vertex, process)
+            if not synchronous:
+                kernel.tick_flush(core, self._activate)
 
     def _steal(self, thief: int, queues, cursors) -> bool:
         """Take the back half of the most loaded core's remaining work
         (the seed scheduler, preserved as ``steal_policy="random"``)."""
-        ctx = self.ctx
-        self.sched_counters.attempt()
+        kernel = self.kernel
+        kernel.sched_counters.attempt()
         best, best_left = -1, 1
-        for core in range(ctx.num_cores):
+        for core in range(self.ctx.num_cores):
             left = len(queues[core]) - cursors[core]
             if left > best_left:
                 best, best_left = core, left
@@ -249,7 +230,7 @@ class _RoundEngine:
         del queues[best][-take:]
         queues[thief] = stolen
         cursors[thief] = 0
-        ctx.charge_overhead(thief, STEAL_CYCLES)
+        kernel.charge_steal(thief)
         self._note_steal(thief, best, stolen)
         return True
 
@@ -258,14 +239,15 @@ class _RoundEngine:
         substantial *estimated* work and take roughly half that work's
         cost off the back of its queue (the cheap tail under hubs-first
         ordering can be many vertices; a hot head few)."""
-        ctx = self.ctx
-        self.sched_counters.attempt()
-        estimator = self.estimator
-        loads = [0] * ctx.num_cores
-        for core in range(ctx.num_cores):
+        kernel = self.kernel
+        kernel.sched_counters.attempt()
+        estimator = kernel.estimator
+        num_cores = self.ctx.num_cores
+        loads = [0] * num_cores
+        for core in range(num_cores):
             if core != thief and len(queues[core]) - cursors[core] >= 2:
                 loads[core] = estimator.queue_cost(queues[core], cursors[core])
-        victim = self.ranker.choose(thief, loads, min_load=1.0)
+        victim = kernel.ranker.choose(thief, loads, min_load=1.0)
         if victim is None:
             return False
         take = chunk_split(queues[victim], cursors[victim], estimator)
@@ -275,27 +257,14 @@ class _RoundEngine:
         del queues[victim][-take:]
         queues[thief] = stolen
         cursors[thief] = 0
-        ctx.charge_overhead(
-            thief,
-            STEAL_CYCLES
-            + self.sched.hop_penalty_cycles * self.ranker.hops(thief, victim),
-        )
+        kernel.charge_steal(thief, victim)
         self._note_steal(thief, victim, stolen)
         return True
 
     def _note_steal(self, thief: int, victim: int, stolen: List[int]) -> None:
-        ctx = self.ctx
-        self.sched_counters.steal(
-            thief, victim, len(stolen), self.estimator.queue_cost(stolen)
+        self.kernel.note_steal(
+            thief, victim, len(stolen), self.kernel.estimator.queue_cost(stolen)
         )
-        if ctx.tracer.enabled:
-            ctx.tracer.instant(
-                "steal",
-                ctx.clock[thief],
-                track=thief + 1,
-                cat="sched",
-                args={"victim": victim, "taken": len(stolen)},
-            )
 
     # ------------------------------------------------------------------
     def _read_stream(self, core: int, addr: int) -> None:
@@ -314,22 +283,6 @@ class _RoundEngine:
         engine.note_consumed(ctx.clock[core])
         ctx.engine_ops += 1
 
-    def _process_vertex(self, core: int, vertex: int) -> None:
-        tracer = self.ctx.tracer
-        if not tracer.enabled:
-            self._process_vertex_inner(core, vertex)
-            return
-        t0 = self.ctx.clock[core]
-        self._process_vertex_inner(core, vertex)
-        tracer.span(
-            "vertex",
-            t0,
-            self.ctx.clock[core] - t0,
-            track=core + 1,
-            cat="frontier",
-            args={"vertex": vertex},
-        )
-
     def _process_vertex_inner(self, core: int, vertex: int) -> None:
         ctx = self.ctx
         policy = self.policy
@@ -340,8 +293,7 @@ class _RoundEngine:
         line = ctx.hardware.line_bytes
 
         ctx.charge_overhead(core, timing.dispatch_op)
-        ctx.charge_mem(core, layout.deltas.addr(vertex), state=True)
-        ctx.charge_mem(core, layout.states.addr(vertex), state=True)
+        ctx.charge_state_entry(core, vertex)
         if policy.synchronous:
             # BSP: consume only deltas published in earlier rounds.
             delta = ctx.pending[vertex]
@@ -354,9 +306,7 @@ class _RoundEngine:
         else:
             ctx.consume_pending(core, vertex)
         value = ctx.apply_vertex(vertex, delta)
-        ctx.charge_mem(core, layout.states.addr(vertex), write=True, state=True)
-        ctx.charge_mem(core, layout.deltas.addr(vertex), write=True, state=True)
-        ctx.charge_compute(core, timing.update_op)
+        ctx.charge_state_update(core, vertex)
         if ctx.is_sum and value == 0.0:
             return
 

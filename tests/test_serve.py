@@ -107,6 +107,52 @@ class TestGraphStore:
         with pytest.raises(ValueError):
             store.chain(2, 1)
 
+    def test_save_load_round_trip(self, tmp_path):
+        store = GraphStore(small_graph())
+        store.apply(
+            GraphDelta(
+                add_edges=[(3, 0)], add_weights=(2.5,), add_vertices=1
+            )
+        )
+        store.apply(GraphDelta(remove_edges=[(0, 1)], reweight=[(1, 2, 9.0)]))
+        store.save(tmp_path / "store")
+        restored = GraphStore.load(tmp_path / "store")
+        assert len(restored) == len(store)
+        assert restored.latest_version == store.latest_version
+        for v in range(len(store)):
+            original, loaded = store.get(v), restored.get(v)
+            assert loaded.parent == original.parent
+            assert np.array_equal(loaded.graph.offsets, original.graph.offsets)
+            assert np.array_equal(loaded.graph.targets, original.graph.targets)
+            assert np.array_equal(loaded.graph.weights, original.graph.weights)
+        # the restored chain serves warm-start planning like the original
+        assert [d.describe() for d in restored.chain(0, 2)] == [
+            d.describe() for d in store.chain(0, 2)
+        ]
+
+    def test_save_load_base_only_and_bad_format(self, tmp_path):
+        store = GraphStore(small_graph())
+        store.save(tmp_path / "s")
+        restored = GraphStore.load(tmp_path / "s")
+        assert len(restored) == 1
+        assert restored.latest.graph.num_edges == small_graph().num_edges
+        manifest = tmp_path / "s" / "manifest.json"
+        manifest.write_text(json.dumps({"format": 99, "deltas": []}))
+        with pytest.raises(ValueError):
+            GraphStore.load(tmp_path / "s")
+
+    def test_save_is_resumable(self, tmp_path):
+        # save, restart, keep applying updates, save again over the same dir
+        store = GraphStore(small_graph())
+        store.apply(GraphDelta(add_edges=[(3, 0)], add_weights=(1.0,)))
+        store.save(tmp_path / "s")
+        resumed = GraphStore.load(tmp_path / "s")
+        resumed.apply(GraphDelta(remove_edges=[(3, 0)]))
+        resumed.save(tmp_path / "s")
+        final = GraphStore.load(tmp_path / "s")
+        assert len(final) == 3
+        assert final.latest.graph.num_edges == small_graph().num_edges
+
 
 class TestBatcherAndCache:
     def key(self, algo, version=0):
