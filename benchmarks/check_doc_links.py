@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""CI gate against documentation link rot.
+
+Scans the cross-linked documentation set (README.md, DESIGN.md,
+EXPERIMENTS.md, ROADMAP.md, CHANGES.md, docs/*.md, results/README.md)
+for Markdown inline links and fails when
+
+* a relative link points at a file or directory that does not exist, or
+* a fragment (``file.md#anchor`` or ``#anchor``) names a heading that is
+  not present in the target document (GitHub anchor slugification:
+  lowercase, punctuation stripped, spaces to hyphens, ``-N`` suffixes
+  for duplicates).
+
+External links (``http(s)://``, ``mailto:``) are out of scope — CI must
+not depend on the network.  Run locally with::
+
+    python benchmarks/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: the documentation set the repository cross-links (glob-expanded)
+DOC_GLOBS = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/*.md",
+    "results/README.md",
+)
+
+#: inline Markdown links: [text](target) — images share the syntax
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor slug transform (ASCII subset)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # strip inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set:
+    """Every anchor GitHub generates for ``path``'s headings."""
+    anchors: set = set()
+    counts: dict = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
+def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for every inline link, skipping
+    fenced code blocks (link syntax inside examples is not a link)."""
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield number, match.group(1)
+
+
+def check_file(path: Path, anchor_cache: dict) -> list:
+    errors = []
+    for line, target in iter_links(path):
+        if target.startswith(_EXTERNAL):
+            continue
+        raw, _, fragment = target.partition("#")
+        if raw:
+            resolved = (path.parent / raw).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path.relative_to(REPO_ROOT)}:{line}: broken link "
+                    f"target {raw!r}"
+                )
+                continue
+        else:
+            resolved = path.resolve()
+        if fragment:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                continue  # anchors into non-Markdown are out of scope
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = heading_anchors(resolved)
+            if fragment.lower() not in anchor_cache[resolved]:
+                errors.append(
+                    f"{path.relative_to(REPO_ROOT)}:{line}: broken anchor "
+                    f"#{fragment} in {resolved.relative_to(REPO_ROOT)}"
+                )
+    return errors
+
+
+def main() -> int:
+    docs = []
+    for pattern in DOC_GLOBS:
+        docs.extend(sorted(REPO_ROOT.glob(pattern)))
+    if not docs:
+        print("check_doc_links: no documentation files found", file=sys.stderr)
+        return 2
+    anchor_cache: dict = {}
+    errors = []
+    checked = 0
+    for path in docs:
+        errors.extend(check_file(path, anchor_cache))
+        checked += 1
+    if errors:
+        print(f"check_doc_links: {len(errors)} broken link(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"check_doc_links OK: {checked} documents, no broken links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,7 @@ EXPERIMENT_MODULES = {
     "preprocessing": "preprocessing",
     "sched": "sched_compare",
     "reorder": "reorder_compare",
+    "backend": "backend_compare",
 }
 
 
@@ -72,6 +73,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--reorder", default="identity", choices=runtime.ORDERING_NAMES
     )
+    run_p.add_argument(
+        "--backend", default="scalar", choices=runtime.BACKEND_NAMES
+    )
 
     cmp_p = sub.add_parser("compare", help="run every system on one workload")
     cmp_p.add_argument("--dataset", default="LJ", choices=datasets.DATASET_NAMES)
@@ -84,6 +88,9 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument(
         "--reorder", default="identity", choices=runtime.ORDERING_NAMES
     )
+    cmp_p.add_argument(
+        "--backend", default="scalar", choices=runtime.BACKEND_NAMES
+    )
 
     exp_p = sub.add_parser("experiment", help="regenerate a figure/table")
     exp_p.add_argument("name", choices=sorted(EXPERIMENT_MODULES))
@@ -93,6 +100,13 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=runtime.ORDERING_NAMES,
         help="vertex ordering for every run of the experiment (sets "
         "REPRO_REORDER for the harness; default: identity)",
+    )
+    exp_p.add_argument(
+        "--backend",
+        default=None,
+        choices=runtime.BACKEND_NAMES,
+        help="execution backend for every run of the experiment (sets "
+        "REPRO_BACKEND for the harness; default: scalar)",
     )
 
     trace_p = sub.add_parser(
@@ -117,6 +131,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace_p.add_argument(
         "--reorder", default="identity", choices=runtime.ORDERING_NAMES
+    )
+    trace_p.add_argument(
+        "--backend", default="scalar", choices=runtime.BACKEND_NAMES
     )
     trace_p.add_argument(
         "--out",
@@ -199,6 +216,8 @@ def _run_trace(args) -> int:
         stem += f"_{args.steal_policy}"
     if args.reorder != "identity":
         stem += f"_{args.reorder}"
+    if args.backend != "scalar":
+        stem += f"_{args.backend}"
     sink = None
     if args.sink == "file":
         sink = observe.FileSink(out_dir / f"{stem}.events.jsonl")
@@ -212,6 +231,7 @@ def _run_trace(args) -> int:
         tracer=tracer,
         steal_policy=args.steal_policy,
         reorder=args.reorder,
+        backend=args.backend,
     )
     _print_result(result)
 
@@ -240,6 +260,7 @@ def _run_trace(args) -> int:
         scale=args.scale,
         cores=args.cores,
         reorder=args.reorder,
+        backend=args.backend,
         cycles=result.cycles,
         rounds=result.rounds,
         converged=result.converged,
@@ -304,6 +325,8 @@ def main(argv=None) -> int:
             # the experiment harness reads the ordering from the
             # environment (see ExperimentConfig), like REPRO_SCALE
             os.environ["REPRO_REORDER"] = args.reorder
+        if args.backend is not None:
+            os.environ["REPRO_BACKEND"] = args.backend
         module = importlib.import_module(
             f".experiments.{EXPERIMENT_MODULES[args.name]}", package=__package__
         )
@@ -327,6 +350,7 @@ def main(argv=None) -> int:
                 hardware,
                 steal_policy=args.steal_policy,
                 reorder=args.reorder,
+                backend=args.backend,
             )
         )
         return 0
@@ -340,6 +364,7 @@ def main(argv=None) -> int:
             hardware,
             steal_policy=args.steal_policy,
             reorder=args.reorder,
+            backend=args.backend,
         )
         if system == "ligra-o":
             base = result

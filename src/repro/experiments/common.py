@@ -51,6 +51,9 @@ class ExperimentConfig:
     #: vertex ordering applied to every run (``REPRO_REORDER`` overrides;
     #: see :mod:`repro.graph.reorder`)
     reorder: str = _env_str("REPRO_REORDER", "identity")
+    #: execution backend for every run (``REPRO_BACKEND`` overrides;
+    #: ``scalar`` or ``vector`` — see :mod:`repro.runtime.vector`)
+    backend: str = _env_str("REPRO_BACKEND", "scalar")
     #: datasets to sweep (paper order); trimmed by cheap presets
     dataset_names: Tuple[str, ...] = datasets.DATASET_NAMES
     #: algorithms to sweep (paper: pagerank, adsorption, sssp, wcc)
@@ -67,6 +70,7 @@ class ExperimentConfig:
             scale=min(self.scale, 0.2),
             cores=min(self.cores, 16),
             reorder=self.reorder,
+            backend=self.backend,
             dataset_names=("AZ", "PK"),
             algorithm_names=("pagerank", "sssp"),
         )
@@ -132,6 +136,8 @@ class WorkloadCache:
         cores = cores or self.config.cores
         if self.config.reorder != "identity":
             options.setdefault("reorder", self.config.reorder)
+        if self.config.backend != "scalar":
+            options.setdefault("backend", self.config.backend)
         key = (system, dataset, algorithm, cores, tuple(sorted(options.items())))
         if key not in self._results:
             self._results[key] = run_system(

@@ -6,6 +6,7 @@ from .depgraph_rt import DepGraphOptions, run_depgraph, run_sequential
 from .minnow_rt import run_minnow
 from .registry import (
     ACCELERATOR_SYSTEMS,
+    BACKEND_NAMES,
     SOFTWARE_SYSTEMS,
     SYSTEM_NAMES,
     run,
@@ -40,6 +41,7 @@ __all__ = [
     "run_sequential",
     "run_minnow",
     "ACCELERATOR_SYSTEMS",
+    "BACKEND_NAMES",
     "SOFTWARE_SYSTEMS",
     "SYSTEM_NAMES",
     "run",

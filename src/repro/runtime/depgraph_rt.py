@@ -100,6 +100,30 @@ SEQUENTIAL_OPTIONS = DepGraphOptions(
 )
 
 
+def vector_profile(options: DepGraphOptions, hardware: HardwareConfig):
+    """This family's cost profile under the vector backend.
+
+    Span name stays ``root`` (backend-invariant).  The per-edge overhead
+    mirrors the scalar chain walk: hardware traversal pops fictitious
+    FIFO entries (:data:`BUFFER_POP_CYCLES`); software traversal pays
+    the full per-hop traversal op.
+    """
+    from .vector import VectorProfile
+
+    edge_overhead = (
+        float(BUFFER_POP_CYCLES)
+        if options.hardware
+        else float(hardware.timing.sw_traverse_op)
+    )
+    return VectorProfile(
+        span="root",
+        cat="chain",
+        simd=options.simd,
+        vertex_overhead=float(hardware.timing.dispatch_op),
+        edge_overhead=edge_overhead,
+    )
+
+
 class _DepGraphExecution:
     def __init__(
         self,

@@ -297,6 +297,38 @@ class ExecutionKernel:
             args["host_ns"] = host
             tracer.span(name, t0, dur, track=core + 1, cat=cat, args=args)
 
+    def note_batch(
+        self,
+        name: str,
+        cat: str,
+        core: int,
+        count: int,
+        t0: float,
+        host_ns: int = 0,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record ``count`` items processed as one bulk batch on ``core``.
+
+        The vector backend charges a whole round's frontier per core in
+        one shot; this folds the batch into the same ``obs.span.*``
+        accounting :meth:`process_item` feeds — ``count`` items, cycles
+        equal to the core's clock advance since ``t0`` — so span names
+        and counter families stay backend-invariant.  When tracing, one
+        span covers the batch with ``args["batched"]`` recording its
+        size.
+        """
+        ctx = self.ctx
+        dur = ctx.clock[core] - t0
+        self._span_count[name] += count
+        self._span_cycles[name] += dur
+        self._span_host_ns[name] += host_ns
+        tracer = ctx.tracer
+        if tracer.enabled:
+            span_args = dict(args) if args else {}
+            span_args["batched"] = count
+            span_args["host_ns"] = host_ns
+            tracer.span(name, t0, dur, track=core + 1, cat=cat, args=span_args)
+
     def span_host_ns(self, name: str) -> int:
         return self._span_host_ns.get(name, 0)
 

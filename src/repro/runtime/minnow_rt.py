@@ -40,6 +40,25 @@ MAX_POPS_FACTOR = 400
 _INF = float("inf")
 
 
+def vector_profile(hardware: HardwareConfig):
+    """This family's cost profile under the vector backend.
+
+    Span name stays ``pop`` (backend-invariant).  The hardware worklist
+    makes both the pop and the activation push near-free
+    (:data:`WORKLIST_OP_CYCLES`), which is exactly what the bulk engine
+    charges per applied vertex and per scattered edge.
+    """
+    from .vector import VectorProfile
+
+    return VectorProfile(
+        span="pop",
+        cat="worklist",
+        simd=True,
+        vertex_overhead=float(WORKLIST_OP_CYCLES),
+        edge_overhead=float(WORKLIST_OP_CYCLES),
+    )
+
+
 class _MinnowExecution:
     def __init__(
         self,

@@ -32,7 +32,9 @@ from ..graph.reorder import (
     make_ordering,
 )
 from ..hardware.config import HardwareConfig
+from . import depgraph_rt, minnow_rt, roundbased
 from .depgraph_rt import (
+    SEQUENTIAL_OPTIONS,
     DepGraphOptions,
     run_depgraph,
     run_sequential,
@@ -41,6 +43,12 @@ from .minnow_rt import run_minnow
 from .roundbased import POLICIES, run_roundbased
 from .scheduling import pop_scheduling_options
 from .stats import ExecutionResult
+from .vector import run_vector
+
+#: execution backends understood by every system: ``scalar`` is the
+#: event-by-event simulation the goldens pin; ``vector`` is the batched
+#: NumPy engine (see :mod:`repro.runtime.vector` and docs/PERFORMANCE.md)
+BACKEND_NAMES = ("scalar", "vector")
 
 SYSTEM_NAMES = (
     "sequential",
@@ -153,6 +161,11 @@ def run(
     active.
     """
     hw = hardware or HardwareConfig.scaled()
+    backend = options.pop("backend", "scalar")
+    if backend not in BACKEND_NAMES:
+        raise KeyError(
+            f"unknown backend {backend!r}; known: {BACKEND_NAMES}"
+        )
     # Resolve the scheduling and layout options before dispatch: both are
     # understood uniformly by every system.  Reordering relabels the graph
     # and wraps the algorithm so the runtimes execute over the permuted
@@ -162,9 +175,15 @@ def run(
     graph, algorithm, ordering = _pop_reorder(
         options, graph, algorithm, num_parts=hw.num_cores
     )
-    result = _dispatch(
-        system, graph, algorithm, hw, max_rounds, tracer, sched, options
-    )
+    if backend == "vector":
+        result = _dispatch_vector(
+            system, graph, algorithm, hw, max_rounds, tracer, sched, options
+        )
+    else:
+        result = _dispatch(
+            system, graph, algorithm, hw, max_rounds, tracer, sched, options
+        )
+    result.extra.setdefault("obs.backend.vector", 0.0)
     return _restore_original_ids(result, ordering)
 
 
@@ -232,6 +251,56 @@ def _dispatch(
             sched=sched,
         )
     raise KeyError(f"unknown system {system!r}; known: {SYSTEM_NAMES}")
+
+
+def _dispatch_vector(
+    system: str,
+    graph: CSRGraph,
+    algorithm: Algorithm,
+    hw: HardwareConfig,
+    max_rounds: int,
+    tracer,
+    sched,
+    options: Dict,
+) -> ExecutionResult:
+    """Dispatch under the batched NumPy backend.
+
+    Each family contributes only its cost profile (span name + per-item
+    constants derived from its scalar model); the bulk BSP engine in
+    :mod:`repro.runtime.vector` is shared.  System-specific options are
+    validated exactly as the scalar path does (``DepGraphOptions`` for
+    the DepGraph variants) so misspelled knobs fail identically under
+    either backend.
+    """
+    if system == "sequential":
+        hw = hw.with_cores(1)
+        profile = depgraph_rt.vector_profile(SEQUENTIAL_OPTIONS, hw)
+    elif system in POLICIES:
+        profile = roundbased.vector_profile(POLICIES[system], hw)
+    elif system == "minnow":
+        profile = minnow_rt.vector_profile(hw)
+    elif system == "depgraph-s":
+        opts = DepGraphOptions(hardware=False, **options)
+        profile = depgraph_rt.vector_profile(opts, hw)
+    elif system == "depgraph-h":
+        opts = DepGraphOptions(hardware=True, **options)
+        profile = depgraph_rt.vector_profile(opts, hw)
+    elif system == "depgraph-h-w":
+        options.pop("hub_enabled", None)
+        opts = DepGraphOptions(hardware=True, hub_enabled=False, **options)
+        profile = depgraph_rt.vector_profile(opts, hw)
+    else:
+        raise KeyError(f"unknown system {system!r}; known: {SYSTEM_NAMES}")
+    return run_vector(
+        graph,
+        algorithm,
+        hw,
+        system,
+        profile,
+        max_rounds=max_rounds,
+        tracer=tracer,
+        sched=sched,
+    )
 
 
 def run_many(

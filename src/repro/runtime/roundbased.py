@@ -82,6 +82,30 @@ POLICIES = {
 }
 
 
+def vector_profile(policy: RoundPolicy, hardware: HardwareConfig):
+    """This family's cost profile under the vector backend.
+
+    The span name stays ``vertex`` (backend-invariant); per-item costs
+    come from the same model constants the scalar loop charges — the
+    dispatch op per frontier vertex and the per-edge scatter atomic
+    (PHI's coalescing buffer drops it to its cheaper atomic already via
+    ``atomic_cycles=1``; single-core runs pay no atomic at all, matching
+    the scalar path).
+    """
+    from .vector import VectorProfile
+
+    edge_overhead = (
+        float(policy.atomic_cycles) if hardware.num_cores > 1 else 0.0
+    )
+    return VectorProfile(
+        span="vertex",
+        cat="frontier",
+        simd=policy.simd,
+        vertex_overhead=float(hardware.timing.dispatch_op),
+        edge_overhead=edge_overhead,
+    )
+
+
 class _RoundEngine:
     """One full round-based execution (a frontier policy over the kernel)."""
 

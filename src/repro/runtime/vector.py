@@ -1,0 +1,527 @@
+"""The batched NumPy execution backend (``backend="vector"``).
+
+The scalar backend walks every frontier item through per-edge Python
+calls — ``edge_compute``, ``accum``, two or three charging calls per
+touched line.  After the execore refactor that per-edge dispatch *is*
+the remaining host-time cost of a full-scale run (see
+``results/execore_flame_*.txt``).  This module processes a whole round
+as array operations instead:
+
+* the frontier is a boolean mask; apply and propagate are one ufunc per
+  accumulator kind (sum / min / max);
+* the scatter gathers every frontier vertex's CSR slice in bulk
+  (``np.repeat`` over degree counts) and folds the per-edge influences
+  into the pending array with segment reductions
+  (:func:`segment_sum` / :func:`segment_min` / :func:`segment_max`);
+* per-edge influence comes from the algorithm's *linear* form
+  (:meth:`repro.algorithms.base.Algorithm.edge_linear` — the same
+  ``f(s) = min(mu*s + xi, cap)`` algebra the hub index stores), probed
+  once per edge at set-up so the round's edge math is three ufuncs;
+* cycles are charged from **precomputed per-vertex cost vectors**
+  (category-split compute/memory/overhead, flat
+  :data:`repro.runtime.context.FAST_MEM_CYCLES` per modelled access)
+  folded per core with ``np.bincount`` over the partition owner map.
+
+Everything still flows through :class:`repro.runtime.execore.ExecutionKernel`:
+round framing (``begin_round``/``end_round`` with the barrier), the
+staged-flush discipline (``flush_all`` at every round boundary), span
+accounting (``note_batch`` keeps ``obs.span.<name>.*`` populated under
+the family's *backend-invariant* span name — ``vertex``/``pop``/``root``),
+and result assembly, so a vector run carries the same ``obs.*`` counter
+families as a scalar run plus the ``obs.backend.*`` group.
+
+What the substitution preserves and what it trades away (see DESIGN.md,
+"Substitutions" item 7): min/max-accumulator fixed points are
+schedule-independent, so final states are **bit-identical** to the
+scalar backend; sum-type algorithms converge to the same fixed point to
+within the significance threshold (``VECTOR_SUM_TOLERANCE`` — the same
+cross-schedule spread the scalar backend shows across core counts).
+Cycle totals are a cost-vector approximation, not the event-accurate
+cache model — use the scalar backend for Figure-level cycle claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter_ns
+from typing import Optional
+
+import numpy as np
+
+from ..algorithms.base import (
+    Algorithm,
+    MaxAlgorithm,
+    MinAlgorithm,
+    SumAlgorithm,
+)
+from ..algorithms.detect import AccumKind, detect_accum_kind
+from ..hardware.config import HardwareConfig
+from .context import FAST_MEM_CYCLES
+from .execore import ExecutionKernel
+from .scheduling import SchedulingPolicy
+from .stats import ExecutionResult
+
+#: documented sum-type state agreement bound vs the scalar backend: the
+#: two backends truncate propagation at the same significance threshold
+#: but in different orders, the same spread the scalar backend shows
+#: across core counts and steal policies (measured worst case across the
+#: execore golden matrix is ~2e-5; the bound carries the usual margin)
+VECTOR_SUM_TOLERANCE = 1e-3
+
+DEFAULT_MAX_ROUNDS = 4000
+
+
+class VectorBackendError(ValueError):
+    """The algorithm cannot run under the vector backend."""
+
+
+# ----------------------------------------------------------------------
+# Segment-reduction primitives (unit-tested against brute-force loops).
+# ----------------------------------------------------------------------
+def segment_sum(
+    values: np.ndarray, segments: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Sum ``values`` into ``num_segments`` bins keyed by ``segments``.
+
+    Segments with no contribution hold the sum identity (0.0).
+    """
+    return np.bincount(
+        segments, weights=values, minlength=num_segments
+    ).astype(np.float64, copy=False)
+
+
+def segment_min(
+    values: np.ndarray, segments: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Minimum of ``values`` per segment; empty segments hold ``+inf``."""
+    out = np.full(num_segments, np.inf, dtype=np.float64)
+    np.minimum.at(out, segments, values)
+    return out
+
+
+def segment_max(
+    values: np.ndarray, segments: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Maximum of ``values`` per segment; empty segments hold ``-inf``."""
+    out = np.full(num_segments, -np.inf, dtype=np.float64)
+    np.maximum.at(out, segments, values)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Backend support probing.
+# ----------------------------------------------------------------------
+_KIND_BASES = {
+    AccumKind.SUM: SumAlgorithm,
+    AccumKind.MIN_MAX: None,  # resolved to Min/Max below
+}
+
+#: the algorithm callbacks the bulk engine replaces with ufuncs; any
+#: override means per-item semantics the arrays would silently drop
+_VECTORED_METHODS = ("apply", "propagate_value", "is_significant", "accum")
+
+
+def unwrap_algorithm(algorithm: Algorithm) -> Algorithm:
+    """Peel delegating wrappers (reorder, warm-start) down to the
+    algorithm whose class defines the accumulator semantics."""
+    seen = 0
+    while hasattr(algorithm, "_inner") and seen < 8:
+        algorithm = algorithm._inner
+        seen += 1
+    return algorithm
+
+
+def vector_unsupported_reason(algorithm: Algorithm) -> Optional[str]:
+    """Why ``algorithm`` cannot run vectorized, or None when it can.
+
+    The bulk engine replaces ``apply``/``propagate_value``/
+    ``is_significant``/``accum`` with per-kind ufuncs and ``edge_compute``
+    with the linear (mu, xi, cap) form, so it requires the stock
+    Sum/Min/Max semantics and a transformable (Property 2) edge function.
+    """
+    inner = unwrap_algorithm(algorithm)
+    if not inner.transformable:
+        return (
+            f"{inner.name} is not transformable (Property 2); "
+            "its edge function has no linear form"
+        )
+    kind = detect_accum_kind(inner)
+    if kind is AccumKind.UNSUPPORTED:
+        return f"{inner.name} has an unrecognised accumulator"
+    if kind is AccumKind.SUM:
+        base = SumAlgorithm
+    elif isinstance(inner, MinAlgorithm):
+        base = MinAlgorithm
+    elif isinstance(inner, MaxAlgorithm):
+        base = MaxAlgorithm
+    else:
+        return f"{inner.name} is min/max-like but not a Min/MaxAlgorithm"
+    if not isinstance(inner, base):
+        return f"{inner.name} does not derive from {base.__name__}"
+    cls = type(inner)
+    for method in _VECTORED_METHODS:
+        if getattr(cls, method) is not getattr(base, method):
+            return f"{inner.name} overrides {method}()"
+    if cls.initial_active is not Algorithm.initial_active:
+        return f"{inner.name} overrides initial_active()"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Family cost profiles.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VectorProfile:
+    """What distinguishes the families under the vector backend.
+
+    The scalar families differ in dispatch machinery (frontier queues vs
+    priority worklist vs circular chain queues); under bulk execution
+    those collapse to per-item cost constants plus the family's span
+    name, which stays **backend-invariant** (``vertex``/``pop``/``root``)
+    so flame summaries and the CI span-share gate compare like with
+    like.  Each family module derives its profile from its own scalar
+    model constants (see ``vector_profile()`` in ``roundbased``,
+    ``minnow_rt``, and ``depgraph_rt``).
+    """
+
+    span: str  #: the family's span name ("vertex" | "pop" | "root")
+    cat: str  #: tracer category for batch spans
+    simd: bool  #: whether compute charges divide by the SIMD factor
+    vertex_overhead: float  #: overhead cycles per applied vertex
+    edge_overhead: float  #: overhead cycles per scattered edge
+
+
+# ----------------------------------------------------------------------
+# The bulk engine.
+# ----------------------------------------------------------------------
+class VectorEngine:
+    """One bulk BSP execution of ``algorithm`` over ``graph``."""
+
+    def __init__(
+        self,
+        graph,
+        algorithm: Algorithm,
+        hardware: HardwareConfig,
+        system: str,
+        profile: VectorProfile,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        tracer=None,
+        sched: Optional[SchedulingPolicy] = None,
+    ) -> None:
+        reason = vector_unsupported_reason(algorithm)
+        if reason is not None:
+            raise VectorBackendError(
+                f"backend='vector' cannot run {algorithm.name!r}: {reason}; "
+                "use the default scalar backend"
+            )
+        self.profile = profile
+        self.max_rounds = max_rounds
+        self.kernel = ExecutionKernel(
+            graph, algorithm, hardware, system, profile.simd,
+            tracer=tracer, sched=sched,
+        )
+        kernel = self.kernel
+        self.ctx = kernel.ctx
+        ctx = self.ctx
+        kernel.declare_span(profile.span)
+        # ctx.graph, not the argument: SimContext symmetrises for
+        # algorithms that ask (WCC), and the edge program must cover the
+        # edges the run actually scatters over.
+        g = ctx.graph
+        self.n = g.num_vertices
+        self.offsets = g.offsets
+        self.targets = g.targets
+        self.degrees = np.diff(g.offsets)
+        self.owner = np.asarray(ctx._owner, dtype=np.int64)
+        self.kind = ctx.accum_kind
+        inner = unwrap_algorithm(ctx.algorithm)
+        self.epsilon = float(getattr(inner, "epsilon", 0.0))
+        self._build_edge_program(g, ctx.algorithm)
+        self._build_cost_vectors(hardware)
+
+    # ------------------------------------------------------------------
+    def _build_edge_program(self, graph, algorithm: Algorithm) -> None:
+        """Probe ``edge_linear`` once per edge into (mu, xi, cap) arrays.
+
+        This is the set-up cost that buys ufunc-only rounds: m Python
+        calls total instead of one ``edge_compute`` call per edge per
+        round.  The reorder wrapper's ``edge_linear`` translates ids, so
+        probing through the (possibly wrapped) algorithm keeps permuted
+        runs exact.
+        """
+        m = graph.num_edges
+        mu = np.empty(m, dtype=np.float64)
+        xi = np.empty(m, dtype=np.float64)
+        cap = np.empty(m, dtype=np.float64)
+        weights = graph.weights
+        edge_linear = algorithm.edge_linear
+        for v in range(graph.num_vertices):
+            begin, end = graph.edge_range(v)
+            for e in range(begin, end):
+                w = float(weights[e]) if weights is not None else 1.0
+                func = edge_linear(v, w, graph)
+                if func is None:
+                    raise VectorBackendError(
+                        f"backend='vector' cannot run {algorithm.name!r}: "
+                        f"edge_linear returned None for edge {v}->"
+                        f"{int(graph.targets[e])}"
+                    )
+                mu[e] = func.mu
+                xi[e] = func.xi
+                cap[e] = func.cap
+        self.edge_mu = mu
+        self.edge_xi = xi
+        self.edge_cap = cap
+        self.edge_capped = bool(np.isfinite(cap).any())
+
+    def _build_cost_vectors(self, hardware: HardwareConfig) -> None:
+        """Per-vertex category costs, split apply vs scatter.
+
+        Mirrors the access sequence the scalar families charge per item
+        (state entry/update, offsets read, per-*line* target/weight
+        streams, one scatter RMW per edge) with every memory access at
+        the flat :data:`FAST_MEM_CYCLES` — the same flat cost the
+        ``fast`` fidelity mode charges, precomputable because it has no
+        cache state.
+        """
+        timing = hardware.timing
+        line = hardware.line_bytes
+        layout = self.ctx.layout
+        profile = self.profile
+        deg = self.degrees.astype(np.float64)
+        offsets = self.offsets
+        n = self.n
+
+        # distinct cache lines under each vertex's contiguous edge slice
+        def slice_lines(region) -> np.ndarray:
+            begin = region.base + region.stride * offsets[:-1]
+            last = region.base + region.stride * (offsets[1:] - 1)
+            lines = (last // line) - (begin // line) + 1
+            return np.where(self.degrees > 0, lines, 0).astype(np.float64)
+
+        target_lines = slice_lines(layout.targets)
+        weight_lines = (
+            slice_lines(layout.weights)
+            if self.ctx.graph.is_weighted
+            else np.zeros(n)
+        )
+        is_sum = self.kind is AccumKind.SUM
+
+        # apply: delta+state reads, state+delta writes, one update op
+        self.apply_mem = np.full(n, 4.0 * FAST_MEM_CYCLES)
+        self.apply_state_mem = self.apply_mem
+        self.apply_compute = np.full(n, float(timing.update_op))
+        self.apply_overhead = np.full(n, float(profile.vertex_overhead))
+
+        # scatter: offsets read + streamed target/weight lines + one
+        # RMW per edge into the target delta (+ a target-state read for
+        # the min/max activation test, as the scalar families charge)
+        rmw = FAST_MEM_CYCLES + 1.0
+        state_reads = 0.0 if is_sum else FAST_MEM_CYCLES
+        scatter_state = deg * (rmw + state_reads)
+        self.scatter_mem = (
+            FAST_MEM_CYCLES * (1.0 + target_lines + weight_lines)
+            + scatter_state
+        )
+        self.scatter_state_mem = scatter_state
+        self.scatter_compute = deg * float(timing.edge_op)
+        self.scatter_overhead = deg * float(profile.edge_overhead)
+
+    # ------------------------------------------------------------------
+    # Vectorized accumulator semantics.
+    # ------------------------------------------------------------------
+    def _significant(
+        self, pending: np.ndarray, states: np.ndarray
+    ) -> np.ndarray:
+        if self.kind is AccumKind.SUM:
+            return np.abs(pending) > self.epsilon
+        if isinstance(unwrap_algorithm(self.ctx.algorithm), MinAlgorithm):
+            return pending < states
+        return pending > states
+
+    def _fold_pending(
+        self, pending: np.ndarray, contrib: np.ndarray
+    ) -> np.ndarray:
+        if self.kind is AccumKind.SUM:
+            return pending + contrib
+        if isinstance(unwrap_algorithm(self.ctx.algorithm), MinAlgorithm):
+            return np.minimum(pending, contrib)
+        return np.maximum(pending, contrib)
+
+    # ------------------------------------------------------------------
+    def _charge_round(
+        self, applied: np.ndarray, scattering: np.ndarray
+    ) -> np.ndarray:
+        """Fold this round's per-vertex costs into the per-core clocks.
+
+        Returns the per-core applied-vertex counts (the batch sizes for
+        span accounting).
+        """
+        ctx = self.ctx
+        cores = ctx.num_cores
+        owner = self.owner
+
+        def per_core(idx: np.ndarray, weights: np.ndarray) -> np.ndarray:
+            return np.bincount(owner[idx], weights=weights[idx], minlength=cores)
+
+        compute = per_core(applied, self.apply_compute) + per_core(
+            scattering, self.scatter_compute
+        )
+        if self.profile.simd:
+            compute = compute / ctx.timing.simd_factor
+        mem = per_core(applied, self.apply_mem) + per_core(
+            scattering, self.scatter_mem
+        )
+        state_mem = per_core(applied, self.apply_state_mem) + per_core(
+            scattering, self.scatter_state_mem
+        )
+        overhead = per_core(applied, self.apply_overhead) + per_core(
+            scattering, self.scatter_overhead
+        )
+        total = compute + mem + overhead
+        for core in range(cores):
+            if total[core]:
+                ctx.clock[core] += float(total[core])
+                ctx.compute[core] += float(compute[core])
+                ctx.mem[core] += float(mem[core])
+                ctx.state_mem[core] += float(state_mem[core])
+                ctx.overhead[core] += float(overhead[core])
+        return np.bincount(owner[applied], minlength=cores)
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExecutionResult:
+        ctx = self.ctx
+        kernel = self.kernel
+        profile = self.profile
+        metrics = ctx.metrics
+        n = self.n
+        offsets = self.offsets
+        targets = self.targets
+        degrees = self.degrees
+        is_sum = self.kind is AccumKind.SUM
+        identity = ctx.identity
+
+        states = np.asarray(ctx.states, dtype=np.float64)
+        pending = np.asarray(ctx.pending, dtype=np.float64)
+        metrics.set("backend.vector", 1.0)
+        batches = 0
+        edges_gathered = 0
+        applied_total = 0
+        flushes = 0
+
+        converged = True
+        frontier = self._significant(pending, states)
+        for round_index in range(self.max_rounds):
+            if not frontier.any():
+                break
+            start_peak, updates_before = kernel.begin_round(round_index)
+            w0 = perf_counter_ns()
+            idx = np.nonzero(frontier)[0]
+            clocks_before = list(ctx.clock)
+
+            # apply (one ufunc per accumulator kind)
+            deltas = pending[idx]
+            pending[idx] = identity
+            old = states[idx]
+            new = self._fold_pending(old, deltas)
+            states[idx] = new
+            # sum propagates the applied increment, min/max the new state
+            values = (new - old) if is_sum else new
+            ctx.updates += int(idx.size)
+            applied_total += int(idx.size)
+
+            # scatter set: sum-type skips exact-zero propagations, and
+            # zero-degree vertices have nothing to gather
+            if is_sum:
+                scatter_mask = (values != 0.0) & (degrees[idx] > 0)
+            else:
+                scatter_mask = degrees[idx] > 0
+            src = idx[scatter_mask]
+            src_values = values[scatter_mask]
+
+            if src.size:
+                counts = degrees[src]
+                total_edges = int(counts.sum())
+                # bulk CSR slice gather: edge index of every scattered edge
+                starts = offsets[src]
+                firsts = np.repeat(starts - np.insert(np.cumsum(counts), 0, 0)[:-1], counts)
+                edge_idx = np.arange(total_edges, dtype=np.int64) + firsts
+                tgt = targets[edge_idx]
+                influence = (
+                    self.edge_mu[edge_idx] * np.repeat(src_values, counts)
+                    + self.edge_xi[edge_idx]
+                )
+                if self.edge_capped:
+                    np.minimum(influence, self.edge_cap[edge_idx], out=influence)
+                if is_sum:
+                    contrib = segment_sum(influence, tgt, n)
+                elif isinstance(
+                    unwrap_algorithm(ctx.algorithm), MinAlgorithm
+                ):
+                    contrib = segment_min(influence, tgt, n)
+                else:
+                    contrib = segment_max(influence, tgt, n)
+                pending = self._fold_pending(pending, contrib)
+                ctx.edge_ops += total_edges
+                edges_gathered += total_edges
+
+            # cycle charging from the precomputed cost vectors
+            batch_counts = self._charge_round(idx, src)
+            host = perf_counter_ns() - w0
+            active_cores = int((batch_counts > 0).sum())
+            for core in range(ctx.num_cores):
+                count = int(batch_counts[core])
+                if count:
+                    kernel.note_batch(
+                        profile.span,
+                        profile.cat,
+                        core,
+                        count,
+                        clocks_before[core],
+                        host_ns=host // active_cores,
+                    )
+                    batches += 1
+
+            # round boundary: publish staged deltas (a no-op for the
+            # bulk engine, which folds into pending directly, but the
+            # visibility point and cadence reset stay on the kernel path)
+            kernel.flush_all(None, reset=True)
+            flushes += 1
+            kernel.end_round(
+                round_index, int(idx.size), start_peak, updates_before
+            )
+            frontier = self._significant(pending, states)
+        else:
+            converged = False
+
+        ctx.states[:] = states.tolist()
+        ctx.pending[:] = pending.tolist()
+        metrics.set("backend.batches", float(batches))
+        metrics.set("backend.edges_gathered", float(edges_gathered))
+        metrics.set("backend.applied_vertices", float(applied_total))
+        metrics.set("backend.flushes", float(flushes))
+        return kernel.finish(converged)
+
+
+# ----------------------------------------------------------------------
+def run_vector(
+    graph,
+    algorithm: Algorithm,
+    hardware: HardwareConfig,
+    system: str,
+    profile: VectorProfile,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    tracer=None,
+    sched: Optional[SchedulingPolicy] = None,
+) -> ExecutionResult:
+    """Run ``algorithm`` over ``graph`` under the vector backend."""
+    return VectorEngine(
+        graph,
+        algorithm,
+        hardware,
+        system,
+        profile,
+        max_rounds=max_rounds,
+        tracer=tracer,
+        sched=sched,
+    ).run()
