@@ -76,7 +76,12 @@ def _load_runs(path: Path) -> dict:
 
 
 def _update(runs: dict, config: dict) -> int:
-    baselines = {
+    # preserve sections owned by other gates (e.g. check_slo.py's
+    # "traffic" key) — this gate only owns config/regenerate/runs
+    baselines = {}
+    if BASELINES.exists():
+        baselines = json.loads(BASELINES.read_text(encoding="utf-8"))
+    baselines.update({
         "config": config,
         "regenerate": (
             "REPRO_SCALE=0.05 REPRO_CORES=8 PYTHONPATH=src "
@@ -91,7 +96,7 @@ def _update(runs: dict, config: dict) -> int:
             }
             for label, run in sorted(runs.items())
         },
-    }
+    })
     BASELINES.write_text(
         json.dumps(baselines, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",

@@ -1,0 +1,233 @@
+#!/usr/bin/env python
+"""CI latency-SLO gate over the traffic harness (``obs.traffic.*``).
+
+Compares the traffic sweep's per-level report
+(``results/traffic_slo.metrics.json``, written by
+``python -m repro traffic``) against the ``"traffic"`` section of the
+checked-in ``benchmarks/baselines.json`` and fails when the serving tier
+regressed beyond the documented slack:
+
+* a level's **p95 latency** grew by more than 25 % (relative, plus a
+  5k-cycle absolute floor so near-zero baselines are not gated on
+  noise-sized cycles), or
+* a level's **shed rate** rose by more than 5 absolute points, or
+* a level present in the baselines is missing from the sweep, or
+* the sweep's config does not match the baseline config (apples must
+  stay apples — rerun the documented smoke config), or
+* a level with a cold-control column stopped beating it: the warm run's
+  mean latency must stay strictly below the cold control's, and its p95
+  within 10 % of it (both tails are dominated by unavoidable first-touch
+  runs, so the p95 check is parity-with-slack, not strict dominance) —
+  caching + warm-start not helping *is* a regression, baselines or not.
+
+The harness is deterministic at a pinned config, so in a healthy tree
+every level matches its baseline exactly; the slack only absorbs
+*intentional* shifts (a new scheduler tie-break, a cost-model tweak) so
+genuine tail-latency regressions still fail loudly.
+
+Regenerate the baselines after an intentional change with::
+
+    PYTHONPATH=src python -m repro traffic \
+        && python benchmarks/check_slo.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINES = Path(__file__).resolve().parent / "baselines.json"
+METRICS = Path("results/traffic_slo.metrics.json")
+
+#: the baselines.json key this gate owns (check_baselines.py owns "runs")
+SECTION = "traffic"
+
+P95 = "obs.traffic.latency_p95_cycles"
+MEAN = "obs.traffic.latency_cycles.mean"
+SHED = "obs.traffic.shed_rate"
+
+#: allowed relative p95 growth before the gate fails
+P95_GROWTH_SLACK = 0.25
+#: absolute p95 slack, in cycles (protects near-zero baselines)
+P95_ABS_SLACK = 5_000.0
+#: allowed absolute shed-rate growth, in rate points
+SHED_RATE_SLACK = 0.05
+#: allowed relative excess of warm p95 over the cold control's p95
+#: (tails in both passes sit on first-touch runs the cache cannot hide)
+COLD_P95_TOLERANCE = 0.10
+
+#: sweep-config keys that define the baseline identity
+CONFIG_KEYS = (
+    "dataset",
+    "scale",
+    "seed",
+    "system",
+    "cores",
+    "backend",
+    "reorder",
+    "mode",
+    "levels",
+    "requests_per_level",
+    "think_cycles",
+    "zipf_s",
+    "algorithms",
+    "mutation_every_cycles",
+    "mutation_edges",
+    "queue_limit",
+    "cache_capacity",
+    "deadline_cycles",
+)
+
+
+def _load_metrics(path: Path):
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    sweep_config = payload.get("config", {})
+    config = {key: sweep_config.get(key) for key in CONFIG_KEYS}
+    return payload["levels"], config
+
+
+def _level_stats(level: dict) -> dict:
+    counters = level["counters"]
+    stats = {
+        "p95_cycles": counters[P95],
+        "mean_cycles": counters.get(MEAN, 0.0),
+        "shed_rate": counters[SHED],
+    }
+    cold = level.get("cold")
+    if cold:
+        stats["cold_p95_cycles"] = cold["p95_cycles"]
+        stats["cold_mean_cycles"] = cold["counters"].get(MEAN, 0.0)
+    return stats
+
+
+def _update(levels: dict, config: dict, baselines_path: Path) -> int:
+    payload = {}
+    if baselines_path.exists():
+        payload = json.loads(baselines_path.read_text(encoding="utf-8"))
+    payload[SECTION] = {
+        "config": config,
+        "regenerate": (
+            "PYTHONPATH=src python -m repro traffic "
+            "&& python benchmarks/check_slo.py --update"
+        ),
+        "levels": {
+            label: {
+                "p95_cycles": _level_stats(level)["p95_cycles"],
+                "shed_rate": _level_stats(level)["shed_rate"],
+            }
+            for label, level in sorted(levels.items())
+        },
+    }
+    baselines_path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(
+        f"wrote {baselines_path} [{SECTION}] ({len(levels)} levels at config "
+        f"{config['mode']}@{config['levels']})"
+    )
+    return 0
+
+
+def _check(levels: dict, config: dict, baselines_path: Path) -> int:
+    payload = json.loads(baselines_path.read_text(encoding="utf-8"))
+    section = payload.get(SECTION)
+    if not section:
+        print(
+            f"FAIL: {baselines_path} has no {SECTION!r} section; run "
+            "`python benchmarks/check_slo.py --update` on a healthy sweep"
+        )
+        return 1
+    if section.get("config") != config:
+        print(
+            f"FAIL: sweep config does not match baseline config; run the "
+            f"smoke config documented in baselines.json[{SECTION!r}]"
+            f"['regenerate']"
+        )
+        for key in CONFIG_KEYS:
+            want = section.get("config", {}).get(key)
+            have = config.get(key)
+            if want != have:
+                print(f"  {key}: baseline {want!r} != sweep {have!r}")
+        return 1
+
+    failures = []
+    for label, base in section["levels"].items():
+        level = levels.get(label)
+        if level is None:
+            failures.append(f"{label}: level missing from the sweep")
+            continue
+        stats = _level_stats(level)
+        allowed_p95 = base["p95_cycles"] * (1.0 + P95_GROWTH_SLACK) + P95_ABS_SLACK
+        if stats["p95_cycles"] > allowed_p95:
+            failures.append(
+                f"{label}: p95 latency {base['p95_cycles']:.0f} -> "
+                f"{stats['p95_cycles']:.0f} cycles (grew more than "
+                f"{P95_GROWTH_SLACK:.0%} + {P95_ABS_SLACK:.0f})"
+            )
+        if stats["shed_rate"] > base["shed_rate"] + SHED_RATE_SLACK:
+            failures.append(
+                f"{label}: shed rate {base['shed_rate']:.3f} -> "
+                f"{stats['shed_rate']:.3f} (rose more than "
+                f"{SHED_RATE_SLACK:.2f} points)"
+            )
+        # structural: the serving layer must beat its own cold control
+        if "cold_p95_cycles" in stats:
+            cold_cap = stats["cold_p95_cycles"] * (1.0 + COLD_P95_TOLERANCE)
+            if stats["p95_cycles"] > cold_cap:
+                failures.append(
+                    f"{label}: warm p95 {stats['p95_cycles']:.0f} exceeds "
+                    f"cold control {stats['cold_p95_cycles']:.0f} by more "
+                    f"than {COLD_P95_TOLERANCE:.0%}"
+                )
+            if stats["mean_cycles"] >= stats["cold_mean_cycles"]:
+                failures.append(
+                    f"{label}: warm mean latency {stats['mean_cycles']:.0f} "
+                    f"not below cold control {stats['cold_mean_cycles']:.0f}"
+                )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"SLO gate OK: {len(section['levels'])} levels within slack "
+        f"(p95 growth < {P95_GROWTH_SLACK:.0%}, shed growth < "
+        f"{SHED_RATE_SLACK:.2f} points, warm beats cold control on mean "
+        f"and holds p95 within {COLD_P95_TOLERANCE:.0%})"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the traffic section of baselines.json from the "
+        "current sweep metrics",
+    )
+    parser.add_argument(
+        "--metrics",
+        type=Path,
+        default=METRICS,
+        help=f"sweep metrics.json to gate on (default: {METRICS})",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=BASELINES,
+        help=f"baselines file (default: {BASELINES})",
+    )
+    args = parser.parse_args(argv)
+    levels, config = _load_metrics(args.metrics)
+    if not levels:
+        print(f"FAIL: {args.metrics} recorded no levels")
+        return 1
+    if args.update:
+        return _update(levels, config, args.baselines)
+    return _check(levels, config, args.baselines)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

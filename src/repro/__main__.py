@@ -41,6 +41,7 @@ EXPERIMENT_MODULES = {
     "sched": "sched_compare",
     "reorder": "reorder_compare",
     "backend": "backend_compare",
+    "traffic": "traffic_slo",
 }
 
 
@@ -176,6 +177,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--reorder", default="identity", choices=runtime.ORDERING_NAMES
     )
     serve_p.add_argument(
+        "--backend", default="scalar", choices=runtime.BACKEND_NAMES
+    )
+    serve_p.add_argument(
         "--algorithms",
         default="pagerank,sssp,wcc",
         help="comma-separated query mix",
@@ -189,6 +193,86 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out",
         default="results",
         help="output directory (default: results)",
+    )
+
+    traffic_p = sub.add_parser(
+        "traffic",
+        help="ramp offered load against the serving tier with open- or "
+        "closed-loop arrivals and Zipfian query popularity; reports "
+        "p50/p95/p99 latency, shed rate, cache hits, and warm-start "
+        "share per level (writes results/traffic_slo.*)",
+    )
+    traffic_p.add_argument(
+        "--dataset", default="AZ", choices=datasets.DATASET_NAMES
+    )
+    traffic_p.add_argument("--scale", type=float, default=0.1)
+    traffic_p.add_argument("--seed", type=int, default=0)
+    traffic_p.add_argument(
+        "--system", default="depgraph-h", choices=runtime.SYSTEM_NAMES
+    )
+    traffic_p.add_argument("--cores", type=int, default=4)
+    traffic_p.add_argument(
+        "--backend", default="scalar", choices=runtime.BACKEND_NAMES
+    )
+    traffic_p.add_argument(
+        "--reorder", default="identity", choices=runtime.ORDERING_NAMES
+    )
+    traffic_p.add_argument(
+        "--mode",
+        default="closed",
+        choices=("closed", "open"),
+        help="closed: levels are concurrent users; open: levels are "
+        "arrivals per Mcycle (default: closed)",
+    )
+    traffic_p.add_argument(
+        "--levels",
+        default="1,2,4,8,16",
+        help="comma-separated load levels to sweep",
+    )
+    traffic_p.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=30,
+        help="terminal responses (closed) / arrivals (open) per level",
+    )
+    traffic_p.add_argument(
+        "--think-cycles",
+        type=float,
+        default=150_000.0,
+        help="mean think time between a user's requests, in sim cycles",
+    )
+    traffic_p.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.1,
+        help="Zipf popularity exponent over the query catalog (0=uniform)",
+    )
+    traffic_p.add_argument(
+        "--algorithms",
+        default="sssp,wcc,bfs,pagerank",
+        help="comma-separated query-catalog algorithms",
+    )
+    traffic_p.add_argument(
+        "--mutation-every",
+        type=float,
+        default=600_000.0,
+        help="mean sim cycles between mutation bursts (0 disables)",
+    )
+    traffic_p.add_argument("--queue-limit", type=int, default=12)
+    traffic_p.add_argument("--cache-capacity", type=int, default=32)
+    traffic_p.add_argument(
+        "--deadline-cycles",
+        type=float,
+        default=2_000_000.0,
+        help="per-request deadline in sim cycles from admission",
+    )
+    traffic_p.add_argument(
+        "--no-cold-control",
+        action="store_true",
+        help="skip the warm-off/cache-off control run per level",
+    )
+    traffic_p.add_argument(
+        "--out", default="results", help="output directory (default: results)"
     )
 
     sub.add_parser("list", help="list systems, algorithms, datasets")
@@ -288,6 +372,7 @@ def _run_serve_bench(args) -> int:
         system=args.system,
         cores=args.cores,
         reorder=args.reorder,
+        backend=args.backend,
         algorithms=tuple(
             name.strip() for name in args.algorithms.split(",") if name.strip()
         ),
@@ -302,6 +387,43 @@ def _run_serve_bench(args) -> int:
     if verification.warm_runs and not verification.states_match:
         print("WARNING: warm/cold state mismatch detected")
         return 1
+    return 0
+
+
+def _run_traffic(args) -> int:
+    """The ``traffic`` subcommand: the load sweep (``repro.serve.traffic``)."""
+    from .serve.traffic import TrafficConfig, run_sweep, write_artifacts
+
+    config = TrafficConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        system=args.system,
+        cores=args.cores,
+        backend=args.backend,
+        reorder=args.reorder,
+        mode=args.mode,
+        levels=tuple(
+            float(level) for level in args.levels.split(",") if level.strip()
+        ),
+        requests_per_level=args.requests,
+        think_cycles=args.think_cycles,
+        zipf_s=args.zipf_s,
+        algorithms=tuple(
+            name.strip() for name in args.algorithms.split(",") if name.strip()
+        ),
+        mutation_every_cycles=args.mutation_every,
+        queue_limit=args.queue_limit,
+        cache_capacity=args.cache_capacity,
+        deadline_cycles=args.deadline_cycles,
+        cold_control=not args.no_cold_control,
+        out_dir=args.out,
+    )
+    sweep = run_sweep(config)
+    sweep.table().print()
+    table_path, metrics_path = write_artifacts(sweep)
+    print(f"\ntable:   {table_path}")
+    print(f"metrics: {metrics_path}")
     return 0
 
 
@@ -336,6 +458,8 @@ def main(argv=None) -> int:
         return _run_trace(args)
     if args.command == "serve-bench":
         return _run_serve_bench(args)
+    if args.command == "traffic":
+        return _run_traffic(args)
 
     graph = datasets.load(args.dataset, scale=args.scale)
     algorithm = algorithms.make(args.algorithm)

@@ -17,6 +17,9 @@ one cold batch run per CLI invocation:
   under ``obs.serve.*``.
 * ``python -m repro serve-bench`` — the seeded replay harness
   (:mod:`repro.serve.bench`).
+* ``python -m repro traffic`` — the open/closed-loop traffic generator
+  and latency-SLO sweep (:mod:`repro.serve.traffic`), reported under
+  ``obs.traffic.*`` and gated in CI by ``benchmarks/check_slo.py``.
 
 See ``docs/SERVING.md`` for the architecture, warm-start soundness
 rules, and the counter glossary.
@@ -24,6 +27,17 @@ rules, and the counter glossary.
 
 from .batching import Batcher, ResultCache
 from .engine import EngineRun, QueryEngine, QueryKey, canonical_params
+from .traffic import (
+    LevelStats,
+    QuerySpec,
+    SweepResult,
+    TrafficConfig,
+    TrafficRun,
+    ZipfChooser,
+    default_catalog,
+    run_level,
+    run_sweep,
+)
 from .service import (
     CACHE_HIT_CYCLES,
     STATUS_OK,
@@ -45,8 +59,10 @@ __all__ = [
     "GraphService",
     "GraphStore",
     "GraphVersion",
+    "LevelStats",
     "QueryEngine",
     "QueryKey",
+    "QuerySpec",
     "ResultCache",
     "STATUS_OK",
     "STATUS_SHED_DEADLINE",
@@ -54,8 +70,15 @@ __all__ = [
     "ServeConfig",
     "ServeRequest",
     "ServeResponse",
+    "SweepResult",
+    "TrafficConfig",
+    "TrafficRun",
     "WarmStartAlgorithm",
     "WarmStartPlan",
+    "ZipfChooser",
     "canonical_params",
+    "default_catalog",
     "plan_warm_start",
+    "run_level",
+    "run_sweep",
 ]

@@ -64,6 +64,8 @@ class BenchConfig:
     #: vertex ordering applied to every engine run (and the cold control
     #: engine, so warm-vs-cold comparisons stay apples-to-apples)
     reorder: str = "identity"
+    #: execution backend for every engine run (and the cold control)
+    backend: str = "scalar"
     #: shadow every warm run with a cold control run and compare
     verify_cold: bool = True
     out_dir: str = "results"
@@ -76,6 +78,7 @@ class BenchConfig:
             cache_capacity=self.cache_capacity,
             default_deadline_cycles=self.deadline_cycles,
             reorder=self.reorder,
+            backend=self.backend,
         )
 
 
@@ -155,6 +158,7 @@ def run_bench(
             warm=False,
             reorder=config.reorder,
             steal_policy=config.serve_config().steal_policy,
+            backend=config.backend,
         )
         if config.verify_cold
         else None
@@ -313,6 +317,7 @@ def write_artifacts(
         cores=config.cores,
         slots=config.slots,
         reorder=config.reorder,
+        backend=config.backend,
     )
     return table_path, metrics_path
 

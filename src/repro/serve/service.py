@@ -63,6 +63,10 @@ class ServeConfig:
     #: vertex ordering for every engine run (see :mod:`repro.graph.reorder`);
     #: the engine resolves it once per snapshot version and reuses it
     reorder: str = "identity"
+    #: execution backend for every engine run (``scalar`` or ``vector``,
+    #: see :mod:`repro.runtime.vector`); answers must agree across
+    #: backends under the usual accumulator-kind tolerance rules
+    backend: str = "scalar"
 
     def hardware(self) -> HardwareConfig:
         return HardwareConfig.scaled(num_cores=self.cores)
@@ -125,6 +129,7 @@ class GraphService:
             max_rounds=self.config.max_rounds,
             reorder=self.config.reorder,
             steal_policy=self.config.steal_policy,
+            backend=self.config.backend,
         )
         self.batcher: Batcher[_Pending] = Batcher()
         self.cache: ResultCache[EngineRun] = ResultCache(
@@ -216,12 +221,32 @@ class GraphService:
     def drain(self) -> List[ServeResponse]:
         """Dispatch every pending batch; returns the new responses."""
         first = len(self._responses)
-        while True:
-            batch = self.batcher.next_batch()
-            if batch is None:
-                break
-            self._dispatch(*batch)
+        while self.dispatch_next() is not None:
+            pass
         return self._responses[first:]
+
+    def dispatch_next(self) -> Optional[List[ServeResponse]]:
+        """Dispatch the single oldest pending batch; ``None`` when empty.
+
+        Event-driven drivers (the traffic harness) use this instead of
+        :meth:`drain` so they can interleave new arrivals and mutations
+        between batches as the simulated clock advances.
+        """
+        batch = self.batcher.next_batch()
+        if batch is None:
+            return None
+        first = len(self._responses)
+        self._dispatch(*batch)
+        return self._responses[first:]
+
+    def advance_clock(self, to_cycles: float) -> None:
+        """Advance the simulated clock to ``to_cycles`` (never backwards).
+
+        Models idle time: an arrival process whose next event lies in the
+        future fast-forwards the service to it instead of busy-waiting.
+        """
+        if to_cycles > self.now_cycles:
+            self.now_cycles = to_cycles
 
     def _dispatch(self, key: QueryKey, group: List[_Pending]) -> None:
         metrics = self.metrics
