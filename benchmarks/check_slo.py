@@ -29,6 +29,18 @@ Regenerate the baselines after an intentional change with::
 
     PYTHONPATH=src python -m repro traffic \
         && python benchmarks/check_slo.py --update
+
+``--section cluster`` gates the multi-worker scaling sweep
+(``results/cluster_scaling.metrics.json``, written by
+``python -m repro experiment cluster``) against the ``"cluster"``
+section instead: per-worker-count p95/shed slack as above, plus two
+structural checks the sweep itself computes — the same-seed replay must
+stay bit-identical on ``obs.cluster.*``/``obs.serve.*`` counters, and
+the gate pool (4 workers) must hold the documented throughput speedup
+over the 1-worker baseline.  Regenerate with::
+
+    PYTHONPATH=src python -m repro experiment cluster \
+        && python benchmarks/check_slo.py --section cluster --update
 """
 
 from __future__ import annotations
@@ -40,9 +52,11 @@ from pathlib import Path
 
 BASELINES = Path(__file__).resolve().parent / "baselines.json"
 METRICS = Path("results/traffic_slo.metrics.json")
+CLUSTER_METRICS = Path("results/cluster_scaling.metrics.json")
 
 #: the baselines.json key this gate owns (check_baselines.py owns "runs")
 SECTION = "traffic"
+CLUSTER_SECTION = "cluster"
 
 P95 = "obs.traffic.latency_p95_cycles"
 MEAN = "obs.traffic.latency_cycles.mean"
@@ -79,6 +93,13 @@ CONFIG_KEYS = (
     "cache_capacity",
     "deadline_cycles",
 )
+
+
+#: allowed relative throughput drop per worker count (cluster section)
+THROUGHPUT_DROP_SLACK = 0.10
+
+#: extra config keys that define the cluster-sweep identity
+CLUSTER_CONFIG_KEYS = CONFIG_KEYS + ("workers", "worker_counts")
 
 
 def _load_metrics(path: Path):
@@ -199,6 +220,128 @@ def _check(levels: dict, config: dict, baselines_path: Path) -> int:
     return 0
 
 
+def _load_cluster_metrics(path: Path):
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    sweep_config = payload.get("config", {})
+    config = {key: sweep_config.get(key) for key in CLUSTER_CONFIG_KEYS}
+    return payload, config
+
+
+def _cluster_update(payload: dict, config: dict, baselines_path: Path) -> int:
+    baselines = {}
+    if baselines_path.exists():
+        baselines = json.loads(baselines_path.read_text(encoding="utf-8"))
+    baselines[CLUSTER_SECTION] = {
+        "config": config,
+        "regenerate": (
+            "PYTHONPATH=src python -m repro experiment cluster "
+            "&& python benchmarks/check_slo.py --section cluster --update"
+        ),
+        "workers": {
+            label: {
+                "p95_cycles": point["p95_cycles"],
+                "shed_rate": point["shed_rate"],
+                "throughput_q_per_mcycle": point["throughput_q_per_mcycle"],
+            }
+            for label, point in sorted(payload["workers"].items())
+        },
+        "target_speedup": payload["target_speedup"],
+    }
+    baselines_path.write_text(
+        json.dumps(baselines, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(
+        f"wrote {baselines_path} [{CLUSTER_SECTION}] "
+        f"({len(payload['workers'])} worker counts)"
+    )
+    return 0
+
+
+def _cluster_check(payload: dict, config: dict, baselines_path: Path) -> int:
+    baselines = json.loads(baselines_path.read_text(encoding="utf-8"))
+    section = baselines.get(CLUSTER_SECTION)
+    if not section:
+        print(
+            f"FAIL: {baselines_path} has no {CLUSTER_SECTION!r} section; run "
+            "`python benchmarks/check_slo.py --section cluster --update` on "
+            "a healthy sweep"
+        )
+        return 1
+    if section.get("config") != config:
+        print(
+            "FAIL: sweep config does not match baseline config; run the "
+            f"config documented in baselines.json[{CLUSTER_SECTION!r}]"
+            "['regenerate']"
+        )
+        for key in CLUSTER_CONFIG_KEYS:
+            want = section.get("config", {}).get(key)
+            have = config.get(key)
+            if want != have:
+                print(f"  {key}: baseline {want!r} != sweep {have!r}")
+        return 1
+
+    failures = []
+    # structural: the sweep's own acceptance checks must hold
+    if not payload.get("deterministic_replay"):
+        failures.append(
+            "same-seed replay diverged on obs.cluster.*/obs.serve.* counters"
+        )
+    target = section.get("target_speedup", payload.get("target_speedup", 0.0))
+    speedup = payload.get("speedup_gate_vs_1w", 0.0)
+    if speedup < target:
+        failures.append(
+            f"{payload.get('gate_workers')}-worker speedup {speedup:.2f}x "
+            f"below target {target:g}x"
+        )
+    cold = payload.get("cold", {})
+    gate_point = payload["workers"].get(str(payload.get("gate_workers")))
+    if cold and gate_point:
+        cold_cap = cold["p95_cycles"] * (1.0 + COLD_P95_TOLERANCE)
+        if gate_point["p95_cycles"] > cold_cap:
+            failures.append(
+                f"warm p95 {gate_point['p95_cycles']:.0f} exceeds cold "
+                f"control {cold['p95_cycles']:.0f} by more than "
+                f"{COLD_P95_TOLERANCE:.0%}"
+            )
+    for label, base in section["workers"].items():
+        point = payload["workers"].get(label)
+        if point is None:
+            failures.append(f"workers={label}: missing from the sweep")
+            continue
+        allowed_p95 = base["p95_cycles"] * (1.0 + P95_GROWTH_SLACK) + P95_ABS_SLACK
+        if point["p95_cycles"] > allowed_p95:
+            failures.append(
+                f"workers={label}: p95 latency {base['p95_cycles']:.0f} -> "
+                f"{point['p95_cycles']:.0f} cycles (grew more than "
+                f"{P95_GROWTH_SLACK:.0%} + {P95_ABS_SLACK:.0f})"
+            )
+        if point["shed_rate"] > base["shed_rate"] + SHED_RATE_SLACK:
+            failures.append(
+                f"workers={label}: shed rate {base['shed_rate']:.3f} -> "
+                f"{point['shed_rate']:.3f} (rose more than "
+                f"{SHED_RATE_SLACK:.2f} points)"
+            )
+        floor = base["throughput_q_per_mcycle"] * (1.0 - THROUGHPUT_DROP_SLACK)
+        if point["throughput_q_per_mcycle"] < floor:
+            failures.append(
+                f"workers={label}: throughput "
+                f"{base['throughput_q_per_mcycle']:.2f} -> "
+                f"{point['throughput_q_per_mcycle']:.2f} q/Mcycle (dropped "
+                f"more than {THROUGHPUT_DROP_SLACK:.0%})"
+            )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"cluster gate OK: {len(section['workers'])} worker counts within "
+        f"slack, replay deterministic, {payload.get('gate_workers')}-worker "
+        f"speedup {speedup:.2f}x >= {target:g}x, warm p95 beats cold control"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -208,10 +351,17 @@ def main(argv=None) -> int:
         "current sweep metrics",
     )
     parser.add_argument(
+        "--section",
+        choices=(SECTION, CLUSTER_SECTION),
+        default=SECTION,
+        help="baselines.json section to gate (default: %(default)s)",
+    )
+    parser.add_argument(
         "--metrics",
         type=Path,
-        default=METRICS,
-        help=f"sweep metrics.json to gate on (default: {METRICS})",
+        default=None,
+        help=f"sweep metrics.json to gate on (default: {METRICS} or "
+        f"{CLUSTER_METRICS} for --section cluster)",
     )
     parser.add_argument(
         "--baselines",
@@ -220,9 +370,19 @@ def main(argv=None) -> int:
         help=f"baselines file (default: {BASELINES})",
     )
     args = parser.parse_args(argv)
-    levels, config = _load_metrics(args.metrics)
+    if args.section == CLUSTER_SECTION:
+        metrics = args.metrics or CLUSTER_METRICS
+        payload, config = _load_cluster_metrics(metrics)
+        if not payload.get("workers"):
+            print(f"FAIL: {metrics} recorded no worker counts")
+            return 1
+        if args.update:
+            return _cluster_update(payload, config, args.baselines)
+        return _cluster_check(payload, config, args.baselines)
+    metrics = args.metrics or METRICS
+    levels, config = _load_metrics(metrics)
     if not levels:
-        print(f"FAIL: {args.metrics} recorded no levels")
+        print(f"FAIL: {metrics} recorded no levels")
         return 1
     if args.update:
         return _update(levels, config, args.baselines)

@@ -42,6 +42,7 @@ EXPERIMENT_MODULES = {
     "reorder": "reorder_compare",
     "backend": "backend_compare",
     "traffic": "traffic_slo",
+    "cluster": "cluster_scaling",
 }
 
 
@@ -272,7 +273,68 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the warm-off/cache-off control run per level",
     )
     traffic_p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="0 = the embedded single-process service (default); N >= 1 "
+        "= drive an N-worker serving cluster instead",
+    )
+    traffic_p.add_argument(
+        "--transport",
+        default="inline",
+        choices=("inline", "process"),
+        help="cluster worker transport when --workers >= 1 (inline keeps "
+        "sweeps deterministic; process spawns real OS workers)",
+    )
+    traffic_p.add_argument(
         "--out", default="results", help="output directory (default: results)"
+    )
+
+    cluster_p = sub.add_parser(
+        "serve",
+        help="start the multi-worker serving cluster behind an HTTP/JSON "
+        "front door (POST /query /update /compact, GET /healthz /readyz "
+        "/metrics); runs until interrupted",
+    )
+    cluster_p.add_argument("--host", default="127.0.0.1")
+    cluster_p.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port (0 picks an ephemeral port, printed on startup)",
+    )
+    cluster_p.add_argument(
+        "--workers", type=_positive_int, default=2, help="worker pool size"
+    )
+    cluster_p.add_argument(
+        "--transport",
+        default="process",
+        choices=("inline", "process"),
+        help="worker hosting: spawned OS processes (default) or inline",
+    )
+    cluster_p.add_argument(
+        "--dataset", default="AZ", choices=datasets.DATASET_NAMES
+    )
+    cluster_p.add_argument("--scale", type=float, default=0.1)
+    cluster_p.add_argument(
+        "--system", default="depgraph-h", choices=runtime.SYSTEM_NAMES
+    )
+    cluster_p.add_argument(
+        "--cores", type=int, default=4, help="simulated cores per worker"
+    )
+    cluster_p.add_argument(
+        "--backend", default="scalar", choices=runtime.BACKEND_NAMES
+    )
+    cluster_p.add_argument(
+        "--reorder", default="identity", choices=runtime.ORDERING_NAMES
+    )
+    cluster_p.add_argument("--queue-limit", type=int, default=64)
+    cluster_p.add_argument("--cache-capacity", type=int, default=128)
+    cluster_p.add_argument(
+        "--spool-dir",
+        default=None,
+        help="directory for store snapshots + the shared baseline spool "
+        "(default: a fresh temp dir)",
     )
 
     sub.add_parser("list", help="list systems, algorithms, datasets")
@@ -417,6 +479,8 @@ def _run_traffic(args) -> int:
         cache_capacity=args.cache_capacity,
         deadline_cycles=args.deadline_cycles,
         cold_control=not args.no_cold_control,
+        workers=args.workers,
+        transport=args.transport,
         out_dir=args.out,
     )
     sweep = run_sweep(config)
@@ -424,6 +488,38 @@ def _run_traffic(args) -> int:
     table_path, metrics_path = write_artifacts(sweep)
     print(f"\ntable:   {table_path}")
     print(f"metrics: {metrics_path}")
+    return 0
+
+
+def _run_serve(args) -> int:
+    """The ``serve`` subcommand: the cluster's HTTP/JSON front door."""
+    import asyncio
+
+    from .serve.cluster import ClusterService, run_server
+    from .serve.service import ServeConfig
+
+    graph = datasets.load(args.dataset, scale=args.scale)
+    print(f"dataset {args.dataset}: {graph}", flush=True)
+    service = ClusterService(
+        graph,
+        ServeConfig(
+            system=args.system,
+            cores=args.cores,
+            queue_limit=args.queue_limit,
+            cache_capacity=args.cache_capacity,
+            reorder=args.reorder,
+            backend=args.backend,
+        ),
+        workers=args.workers,
+        transport=args.transport,
+        spool_dir=args.spool_dir,
+    )
+    try:
+        asyncio.run(run_server(service, args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
     return 0
 
 
@@ -460,6 +556,8 @@ def main(argv=None) -> int:
         return _run_serve_bench(args)
     if args.command == "traffic":
         return _run_traffic(args)
+    if args.command == "serve":
+        return _run_serve(args)
 
     graph = datasets.load(args.dataset, scale=args.scale)
     algorithm = algorithms.make(args.algorithm)

@@ -31,7 +31,7 @@ from .export import (
     to_chrome_trace,
     write_chrome_trace,
 )
-from .metrics import Histogram, MetricRegistry
+from .metrics import Histogram, MetricRegistry, aggregate_metrics
 from .sinks import FileSink
 from .tracer import (
     DEFAULT_CAPACITY,
@@ -52,6 +52,7 @@ __all__ = [
     "Histogram",
     "MetricRegistry",
     "NullTracer",
+    "aggregate_metrics",
     "Tracer",
     "flame_summary",
     "get_tracer",

@@ -16,7 +16,7 @@ metric on first touch — so subsystems never need a schema handshake.
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 
 class Histogram:
@@ -129,3 +129,53 @@ class MetricRegistry:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=indent, sort_keys=True)
             fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Cross-process aggregation.
+# ----------------------------------------------------------------------
+def aggregate_metrics(
+    snapshots: Iterable[Dict[str, float]],
+) -> Dict[str, float]:
+    """Combine flattened metric snapshots from several registries.
+
+    The cluster serving tier runs one :class:`MetricRegistry` per worker
+    process and reports one aggregated view (``/metrics``); this is the
+    combination rule.  Plain counters and histogram ``count`` / ``sum`` /
+    bucket keys are *summed* across workers; the key suffix decides the
+    exceptions:
+
+    * ``.min`` / ``.max`` — element-wise min / max (histogram extrema);
+    * ``.mean`` — recomputed from the summed sibling ``.sum`` and
+      ``.count`` keys when both exist, otherwise the arithmetic mean of
+      the per-worker means;
+    * ``_rate`` — arithmetic mean of the per-worker rates.  Callers that
+      can recompute a rate exactly from summed counters (the cluster
+      dispatcher does, for the cache hit rate) should overwrite it;
+    * ``latency_p`` quantile gauges and ``.version`` — max across
+      workers (the worst tail / newest version is the cluster's answer —
+      per-worker quantiles cannot be averaged into a cluster quantile).
+    """
+    merged: Dict[str, float] = {}
+    per_key: Dict[str, list] = {}
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            per_key.setdefault(key, []).append(float(value))
+    for key, values in per_key.items():
+        if key.endswith(".min"):
+            merged[key] = min(values)
+        elif key.endswith(".max") or key.endswith(".version") or "latency_p" in key:
+            merged[key] = max(values)
+        elif key.endswith(".mean"):
+            base = key[: -len(".mean")]
+            totals = per_key.get(base + ".sum")
+            counts = per_key.get(base + ".count")
+            if totals is not None and counts is not None and sum(counts):
+                merged[key] = sum(totals) / sum(counts)
+            else:
+                merged[key] = sum(values) / len(values)
+        elif key.endswith("_rate"):
+            merged[key] = sum(values) / len(values)
+        else:
+            merged[key] = sum(values)
+    return dict(sorted(merged.items()))

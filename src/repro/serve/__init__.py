@@ -20,12 +20,19 @@ one cold batch run per CLI invocation:
 * ``python -m repro traffic`` — the open/closed-loop traffic generator
   and latency-SLO sweep (:mod:`repro.serve.traffic`), reported under
   ``obs.traffic.*`` and gated in CI by ``benchmarks/check_slo.py``.
+* :class:`ClusterService` / ``python -m repro serve`` — the multi-worker
+  serving cluster and its HTTP/JSON front door
+  (:mod:`repro.serve.cluster`): lineage-sharded workers (inline or OS
+  processes), rendezvous routing, restart + requeue fault handling,
+  ``obs.cluster.*`` metrics aggregated across workers.
 
 See ``docs/SERVING.md`` for the architecture, warm-start soundness
 rules, and the counter glossary.
 """
 
 from .batching import Batcher, ResultCache
+from .cluster import ClusterHTTPServer, ClusterService, RoutingTable, WorkerDied
+from .config import build_serve_config, compare_states, summarize_states
 from .engine import EngineRun, QueryEngine, QueryKey, canonical_params
 from .traffic import (
     LevelStats,
@@ -54,6 +61,8 @@ from .warmstart import WarmStartAlgorithm, WarmStartPlan, plan_warm_start
 __all__ = [
     "Batcher",
     "CACHE_HIT_CYCLES",
+    "ClusterHTTPServer",
+    "ClusterService",
     "EngineRun",
     "GraphDelta",
     "GraphService",
@@ -64,6 +73,7 @@ __all__ = [
     "QueryKey",
     "QuerySpec",
     "ResultCache",
+    "RoutingTable",
     "STATUS_OK",
     "STATUS_SHED_DEADLINE",
     "STATUS_SHED_QUEUE",
@@ -75,10 +85,14 @@ __all__ = [
     "TrafficRun",
     "WarmStartAlgorithm",
     "WarmStartPlan",
+    "WorkerDied",
     "ZipfChooser",
+    "build_serve_config",
     "canonical_params",
+    "compare_states",
     "default_catalog",
     "plan_warm_start",
+    "summarize_states",
     "run_level",
     "run_sweep",
 ]

@@ -25,22 +25,13 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..algorithms import make as make_algorithm
-from ..algorithms.detect import AccumKind, detect_accum_kind
 from ..experiments.common import ExperimentTable
 from ..graph import datasets
 from ..observe import MetricRegistry
+from .config import SUM_STATE_TOLERANCE, build_serve_config, compare_states
 from .engine import QueryEngine
 from .service import GraphService, ServeConfig
 from .store import GraphDelta
-
-#: warm-vs-cold agreement bound for sum-type accumulators: 2x the
-#: established cross-schedule spread (TestSchedulingEquivalence's 1e-3).
-#: Two schedules of the same cold start share one truncation point; warm
-#: and cold are *independently* truncated epsilon-fixpoints (different
-#: initial conditions), so their residual errors add — |warm - exact| +
-#: |cold - exact| <= 2x the single-run bound.
-SUM_STATE_TOLERANCE = 2e-3
 
 
 @dataclass(frozen=True)
@@ -71,15 +62,7 @@ class BenchConfig:
     out_dir: str = "results"
 
     def serve_config(self) -> ServeConfig:
-        return ServeConfig(
-            system=self.system,
-            cores=self.cores,
-            queue_limit=self.queue_limit,
-            cache_capacity=self.cache_capacity,
-            default_deadline_cycles=self.deadline_cycles,
-            reorder=self.reorder,
-            backend=self.backend,
-        )
+        return build_serve_config(self)
 
 
 @dataclass
@@ -127,18 +110,6 @@ def _random_burst(rng: random.Random, graph) -> GraphDelta:
         add_weights=tuple(weights),
         remove_edges=tuple(removes),
     )
-
-
-def _compare_states(algorithm_name: str, warm, cold) -> Tuple[bool, float]:
-    """(match, sum-divergence) under the algorithm-kind tolerance rules."""
-    kind = detect_accum_kind(make_algorithm(algorithm_name))
-    a = np.asarray(warm, dtype=np.float64)
-    b = np.asarray(cold, dtype=np.float64)
-    if kind is AccumKind.MIN_MAX:
-        return bool(np.array_equal(a, b)), 0.0
-    both_inf = np.isinf(a) & np.isinf(b)
-    diff = float(np.max(np.abs(np.where(both_inf, 0.0, a - b)))) if a.size else 0.0
-    return diff < SUM_STATE_TOLERANCE, diff
 
 
 def run_bench(
@@ -207,7 +178,7 @@ def _verify_warm_runs(
             run.key.algorithm, dict(run.key.params), run.key.version,
             force_cold=True,
         )
-        match, divergence = _compare_states(
+        match, divergence = compare_states(
             run.key.algorithm, run.result.states, cold.result.states
         )
         verification.warm_runs += 1

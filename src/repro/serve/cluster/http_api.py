@@ -1,0 +1,314 @@
+"""The HTTP/JSON front door for the serving cluster.
+
+``python -m repro serve --port N`` binds this server in front of a
+:class:`ClusterService`.  It is stdlib-only by design (the container
+bakes no web framework): an :mod:`asyncio` streams server with a small
+hand-rolled HTTP/1.1 parser, JSON bodies in and out.
+
+Endpoints::
+
+    POST /query    {"algorithm": "sssp", "params": {"source": 0},
+                    "version": null, "deadline_cycles": null}
+                -> terminal response: status, worker, warm/cache flags,
+                   latency in simulated cycles, state digest
+    POST /update   a GraphDelta dict (add_edges/add_weights/
+                   remove_edges/reweight/add_vertices)
+                -> {"version": <new latest>}
+    POST /compact  {"keep_last": 8}   -> {"pruned": <versions dropped>}
+    GET  /healthz  liveness (the process answers)
+    GET  /readyz   readiness (every worker slot alive; 503 otherwise)
+    GET  /metrics  the aggregated obs.* snapshot across all workers
+
+Concurrency model — the **admission/dispatch loop**: the event loop
+owns the service.  Every query handler performs *admission* (a
+``submit`` call, which applies the bounded-queue shed-newest policy)
+and then parks on a future; a single background dispatcher task pulls
+batches with ``dispatch_next`` and resolves the futures of every
+request a batch answered.  Queries that arrive while a batch is in
+flight coalesce in the service's batcher exactly as they do offline.
+All service interaction runs on one single-threaded executor, so the
+deterministic dispatcher is never entered concurrently while the event
+loop stays free to answer health and metrics probes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from ..service import ServeResponse
+from ..store import GraphDelta
+from .dispatch import ClusterService
+
+_MAX_BODY = 8 * 1024 * 1024
+
+
+def response_payload(response: ServeResponse) -> dict:
+    """The JSON form of one terminal :class:`ServeResponse`."""
+    return {
+        "request_id": response.request_id,
+        "status": response.status,
+        "ok": response.ok,
+        "query": response.key.label() if response.key else None,
+        "worker": response.worker,
+        "cache_hit": response.cache_hit,
+        "warm": response.warm,
+        "inherited": response.inherited,
+        "fallback_reason": response.fallback_reason,
+        "latency_cycles": response.latency_cycles,
+        "completed_cycles": response.completed_cycles,
+        "summary": response.summary,
+    }
+
+
+class ClusterHTTPServer:
+    """Asyncio front door over one :class:`ClusterService`."""
+
+    def __init__(
+        self,
+        service: ClusterService,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        #: all service calls funnel through this one thread: admission
+        #: and dispatch stay serialized (the service is not re-entrant)
+        #: without blocking the event loop
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-dispatch"
+        )
+        self._waiters: Dict[int, asyncio.Future] = {}
+        self._work = asyncio.Event()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port) —
+        meaningful with ``port=0`` (ephemeral port)."""
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.port = sockname[1]
+        return sockname[0], sockname[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # The admission/dispatch loop.
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        """Drain the service's batcher whenever admissions signal work."""
+        loop = asyncio.get_event_loop()
+        while True:
+            await self._work.wait()
+            try:
+                responses = await loop.run_in_executor(
+                    self._pool, self.service.dispatch_next
+                )
+            except Exception as exc:  # noqa: BLE001 - surface, don't hang
+                # a batch the service could not serve (e.g. repeated
+                # worker deaths): fail its waiters instead of letting
+                # their requests hang, and keep draining the queue
+                for waiter in list(self._waiters.values()):
+                    if not waiter.done():
+                        waiter.set_exception(RuntimeError(str(exc)))
+                self._waiters.clear()
+                continue
+            if responses is None:
+                self._work.clear()
+                continue
+            for response in responses:
+                waiter = self._waiters.pop(response.request_id, None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(response)
+
+    async def _serve_query(self, body: dict) -> dict:
+        loop = asyncio.get_event_loop()
+        outcome = await loop.run_in_executor(
+            self._pool,
+            lambda: self.service.submit(
+                body.get("algorithm", ""),
+                body.get("params") or {},
+                body.get("version"),
+                body.get("deadline_cycles"),
+            ),
+        )
+        if isinstance(outcome, ServeResponse):
+            return response_payload(outcome)  # shed at admission
+        waiter: asyncio.Future = loop.create_future()
+        self._waiters[outcome] = waiter
+        self._work.set()
+        response = await waiter
+        return response_payload(response)
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing.
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, body = request
+                status, payload = await self._route(method, path, body)
+                data = (json.dumps(payload, sort_keys=True) + "\n").encode()
+                writer.write(
+                    (
+                        f"HTTP/1.1 {status}\r\n"
+                        "Content-Type: application/json\r\n"
+                        f"Content-Length: {len(data)}\r\n"
+                        "Connection: keep-alive\r\n"
+                        "\r\n"
+                    ).encode()
+                    + data
+                )
+                await writer.drain()
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, dict]]:
+        """Parse one request; ``None`` on a cleanly closed connection."""
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        body: dict = {}
+        if 0 < content_length <= _MAX_BODY:
+            raw = await reader.readexactly(content_length)
+            try:
+                parsed = json.loads(raw.decode("utf-8"))
+                if isinstance(parsed, dict):
+                    body = parsed
+            except ValueError:
+                body = {}
+        return method, path, body
+
+    async def _route(
+        self, method: str, path: str, body: dict
+    ) -> Tuple[str, dict]:
+        loop = asyncio.get_event_loop()
+        service = self.service
+        try:
+            if method == "GET" and path == "/healthz":
+                return "200 OK", {
+                    "status": "ok",
+                    "workers": len(service.routing),
+                    "transport": service.transport,
+                }
+            if method == "GET" and path == "/readyz":
+                alive = await loop.run_in_executor(
+                    self._pool, service.workers_alive
+                )
+                ready = all(alive.values())
+                return (
+                    "200 OK" if ready else "503 Service Unavailable",
+                    {"ready": ready, "workers": alive},
+                )
+            if method == "GET" and path == "/metrics":
+                snapshot = await loop.run_in_executor(
+                    self._pool, service.metrics_snapshot
+                )
+                return "200 OK", {"metrics": snapshot}
+            if method == "POST" and path == "/query":
+                if not body.get("algorithm"):
+                    return "400 Bad Request", {
+                        "error": "missing 'algorithm'"
+                    }
+                return "200 OK", await self._serve_query(body)
+            if method == "POST" and path == "/update":
+                delta = GraphDelta.from_dict(body)
+                version = await loop.run_in_executor(
+                    self._pool, service.apply_update, delta
+                )
+                return "200 OK", {
+                    "version": version.version,
+                    "delta": delta.describe(),
+                }
+            if method == "POST" and path == "/compact":
+                keep_last = int(body.get("keep_last", 8))
+                pruned = await loop.run_in_executor(
+                    self._pool, service.compact, keep_last
+                )
+                return "200 OK", {
+                    "pruned": pruned,
+                    "first_version": service.store.first_version,
+                }
+            return "404 Not Found", {"error": f"no route {method} {path}"}
+        except KeyError as exc:
+            return "404 Not Found", {"error": str(exc)}
+        except (ValueError, TypeError) as exc:
+            return "400 Bad Request", {"error": str(exc)}
+        except RuntimeError as exc:
+            return "500 Internal Server Error", {"error": str(exc)}
+
+
+async def run_server(
+    service: ClusterService, host: str, port: int
+) -> None:  # pragma: no cover - CLI glue, exercised by cluster-smoke
+    """Start the front door and serve until cancelled (the CLI body)."""
+    server = ClusterHTTPServer(service, host=host, port=port)
+    bound_host, bound_port = await server.start()
+    print(
+        f"repro serve: listening on http://{bound_host}:{bound_port} "
+        f"(workers={len(service.routing)}, transport={service.transport})",
+        flush=True,
+    )
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()
+        service.close()

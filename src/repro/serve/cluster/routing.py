@@ -1,0 +1,83 @@
+"""Lineage -> worker routing for the serving cluster.
+
+Sharding is by *query lineage* (``(algorithm, params)``, version
+excluded): a lineage's warm-start baseline, per-version orderings, and
+cached results all live with whichever worker executes it, so the
+routing goal is **affinity** — the same lineage must land on the same
+worker run after run, and as little as possible may move when the
+worker set changes.
+
+:class:`RoutingTable` implements rendezvous (highest-random-weight)
+hashing: every ``(worker, lineage)`` pair gets a deterministic score
+``sha1(worker + "/" + lineage)`` and the lineage is owned by the
+highest-scoring worker.  The properties that matter here:
+
+* **deterministic** — scores depend only on the two strings, so every
+  dispatcher replica (and every rerun of a seeded experiment) computes
+  the same assignment;
+* **minimal disruption** — removing a worker only remaps the lineages
+  that worker owned (each falls to its second-highest score); adding a
+  worker only claims the lineages it now scores highest on.  No ring
+  state, no rebalancing step;
+* **restart stability** — a crashed worker is restarted under the same
+  slot name (``w0`` .. ``wN``), so its lineages route exactly as
+  before and find their warmth again through the baseline spool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def score(worker: str, key: str) -> int:
+    """The rendezvous weight of ``worker`` for routing key ``key``."""
+    digest = hashlib.sha1(f"{worker}/{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RoutingTable:
+    """Rendezvous-hash assignment of routing keys to named workers."""
+
+    def __init__(self, workers: Sequence[str]) -> None:
+        names = list(workers)
+        if not names:
+            raise ValueError("routing table needs at least one worker")
+        if len(set(names)) != len(names):
+            raise ValueError("worker names must be unique")
+        self._workers: List[str] = sorted(names)
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> Tuple[str, ...]:
+        return tuple(self._workers)
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._workers
+
+    # ------------------------------------------------------------------
+    def route(self, key: str) -> str:
+        """The worker that owns ``key`` (highest rendezvous score; the
+        worker name breaks the astronomically-unlikely score tie)."""
+        return max(self._workers, key=lambda worker: (score(worker, key), worker))
+
+    def assignments(self, keys: Iterable[str]) -> Dict[str, str]:
+        """``{key: owning worker}`` for every key, in one pass."""
+        return {key: self.route(key) for key in keys}
+
+    # ------------------------------------------------------------------
+    def add_worker(self, name: str) -> None:
+        if name in self._workers:
+            raise ValueError(f"worker {name!r} already routed")
+        self._workers.append(name)
+        self._workers.sort()
+
+    def remove_worker(self, name: str) -> None:
+        if name not in self._workers:
+            raise KeyError(f"unknown worker {name!r}")
+        if len(self._workers) == 1:
+            raise ValueError("cannot remove the last worker")
+        self._workers.remove(name)

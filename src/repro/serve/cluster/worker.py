@@ -1,0 +1,336 @@
+"""Cluster workers: one warm :class:`QueryEngine` per worker slot.
+
+A worker hosts exactly the serving state that must stay *hot* to answer
+queries fast — the warm-start baselines of the lineages routed to it,
+the per-version :class:`VertexOrdering` cache inside its engine, and a
+bounded LRU :class:`ResultCache` — plus its own zero-seeded
+``serve.*`` :class:`MetricRegistry`, aggregated cluster-wide by the
+dispatcher (see :func:`repro.observe.aggregate_metrics`).
+
+Two transports host the same :class:`WorkerCore`:
+
+* :class:`InlineWorkerClient` runs the core in the dispatcher's own
+  process, *sharing* the authoritative :class:`GraphStore` object.
+  This is the deterministic default — traffic sweeps and the scaling
+  experiment use it, and repeat same-seed runs are bit-identical.
+* :class:`ProcessWorkerClient` runs the core in a spawned OS process
+  (``multiprocessing`` spawn context — no fork-inherited state, safe
+  under threads) with command/reply queues.  The worker builds its own
+  *replica* store from a persisted snapshot
+  (:meth:`GraphStore.save` / :meth:`GraphStore.load`) and keeps it in
+  sync by replaying every broadcast delta; commands and replies are
+  picklable primitives only.
+
+Worker death is a first-class event, not an exception path: any call on
+a dead process raises :class:`WorkerDied` and the dispatcher restarts
+the slot (same name — routing is unchanged) and requeues the batch.  A
+replacement worker finds its lineages' baselines in the shared spool
+directory (``QueryEngine.baseline_dir``), so it answers *warm* — the
+restart costs one process spawn, not a reconvergence.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ...hardware.config import HardwareConfig
+from ...observe import MetricRegistry
+from ..batching import ResultCache
+from ..config import summarize_states
+from ..engine import EngineRun, QueryEngine, QueryKey, canonical_params
+from ..service import CACHE_HIT_CYCLES, SERVE_COUNTER_FAMILY, ServeConfig
+from ..store import GraphDelta, GraphStore
+from ..warmstart import FALLBACK_NO_BASELINE
+
+
+class WorkerDied(RuntimeError):
+    """A worker process (or a fault-injected inline worker) is gone."""
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker needs to build its core — picklable
+    primitives only, because the spawn transport ships it to the child
+    process as the sole constructor argument."""
+
+    name: str
+    #: persisted-store directory the worker loads its replica from
+    #: (``None`` for inline workers, which share the dispatcher's store)
+    store_dir: Optional[str] = None
+    system: str = "depgraph-h"
+    cores: int = 8
+    warm: bool = True
+    max_rounds: int = 4000
+    steal_policy: str = "auto"
+    reorder: str = "identity"
+    backend: str = "scalar"
+    cache_capacity: int = 128
+    #: shared cross-engine baseline spool (restart/fork warmth)
+    baseline_dir: Optional[str] = None
+
+    @classmethod
+    def from_serve(
+        cls,
+        name: str,
+        serve: ServeConfig,
+        store_dir: Optional[str] = None,
+        baseline_dir: Optional[str] = None,
+    ) -> "WorkerConfig":
+        return cls(
+            name=name,
+            store_dir=store_dir,
+            system=serve.system,
+            cores=serve.cores,
+            warm=serve.warm,
+            max_rounds=serve.max_rounds,
+            steal_policy=serve.steal_policy,
+            reorder=serve.reorder,
+            backend=serve.backend,
+            cache_capacity=serve.cache_capacity,
+            baseline_dir=baseline_dir or serve.baseline_dir,
+        )
+
+
+class WorkerCore:
+    """The per-worker serving state, transport-agnostic.
+
+    The core is ``GraphService`` minus admission/batching/clocking —
+    those live in the dispatcher, which owns the cluster-wide simulated
+    clock.  ``execute`` returns a picklable reply dict; ``cycles`` is
+    the simulated cost the dispatcher charges to this worker's
+    ``busy_until`` clock.
+    """
+
+    def __init__(
+        self, config: WorkerConfig, store: Optional[GraphStore] = None
+    ) -> None:
+        self.config = config
+        if store is None:
+            if config.store_dir is None:
+                raise ValueError(
+                    "WorkerCore needs a shared store or a store_dir"
+                )
+            store = GraphStore.load(config.store_dir)
+        self.store = store
+        self.engine = QueryEngine(
+            store,
+            system=config.system,
+            hardware=HardwareConfig.scaled(num_cores=config.cores),
+            warm=config.warm,
+            max_rounds=config.max_rounds,
+            reorder=config.reorder,
+            baseline_dir=config.baseline_dir,
+            steal_policy=config.steal_policy,
+            backend=config.backend,
+        )
+        self.cache: ResultCache[EngineRun] = ResultCache(config.cache_capacity)
+        self.metrics = MetricRegistry()
+        for name in SERVE_COUNTER_FAMILY:
+            self.metrics.inc(name, 0.0)
+
+    # ------------------------------------------------------------------
+    def execute(
+        self, algorithm: str, params: Optional[dict], version: int
+    ) -> Dict[str, Any]:
+        """Answer one coalesced batch; the warm/cold/cache accounting
+        mirrors ``GraphService._dispatch`` so single-service and cluster
+        ``serve.*`` counters compare key-for-key."""
+        key = QueryKey(algorithm, canonical_params(params), version)
+        metrics = self.metrics
+        run = self.cache.get(key)
+        cache_hit = run is not None
+        if cache_hit:
+            metrics.inc("serve.cache_hits")
+            cycles = CACHE_HIT_CYCLES
+        else:
+            metrics.inc("serve.cache_misses")
+            run = self.engine.execute(algorithm, dict(params or {}), version)
+            self.cache.put(key, run)
+            cycles = run.cycles
+            metrics.inc("serve.engine_runs")
+            metrics.observe("serve.run_cycles", run.cycles)
+            if run.warm:
+                metrics.inc("serve.warm_runs")
+                metrics.inc("serve.warm_updates", run.updates)
+                metrics.observe("serve.warm_seeded", run.seeded)
+                if run.inherited:
+                    metrics.inc("serve.baseline_inherited")
+            else:
+                metrics.inc("serve.cold_runs")
+                metrics.inc("serve.cold_updates", run.updates)
+                if (
+                    run.fallback_reason
+                    and run.fallback_reason != FALLBACK_NO_BASELINE
+                ):
+                    metrics.inc("serve.warm_fallbacks")
+        return {
+            "cycles": float(cycles),
+            "cache_hit": cache_hit,
+            "warm": run.warm,
+            "inherited": run.inherited,
+            "fallback_reason": run.fallback_reason,
+            "updates": int(run.updates),
+            "seeded": int(run.seeded),
+            "summary": summarize_states(run.result.states),
+        }
+
+    def apply_delta(self, delta: GraphDelta) -> int:
+        """Apply one broadcast delta to the replica store; returns the
+        new version id (the dispatcher asserts it matches its own)."""
+        version = self.store.apply(delta)
+        self.metrics.set("serve.version", version.version)
+        return version.version
+
+    def compact(self, keep_last: int) -> int:
+        return self.store.compact(keep_last)
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        return self.metrics.as_dict()
+
+    # ------------------------------------------------------------------
+    def handle(self, command: Tuple) -> Any:
+        """Execute one transport command tuple."""
+        op = command[0]
+        if op == "execute":
+            return self.execute(command[1], command[2], command[3])
+        if op == "update":
+            return self.apply_delta(GraphDelta.from_dict(command[1]))
+        if op == "compact":
+            return self.compact(command[1])
+        if op == "metrics":
+            return self.metrics_snapshot()
+        raise ValueError(f"unknown worker command {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Transports.
+# ----------------------------------------------------------------------
+class InlineWorkerClient:
+    """In-process worker sharing the dispatcher's :class:`GraphStore`.
+
+    ``shares_store`` tells the dispatcher to skip update/compact
+    broadcasts (the shared object is already current).  ``kill`` is the
+    fault-injection hook: the next call raises :class:`WorkerDied`, so
+    the restart/requeue path is testable without spawning processes.
+    """
+
+    shares_store = True
+
+    def __init__(self, config: WorkerConfig, store: GraphStore) -> None:
+        self.name = config.name
+        self.config = config
+        self._core = WorkerCore(config, store=store)
+        self._dead = False
+
+    @property
+    def alive(self) -> bool:
+        return not self._dead
+
+    def call(self, command: Tuple, timeout: float = 0.0) -> Any:
+        if self._dead:
+            raise WorkerDied(f"worker {self.name} was killed")
+        return self._core.handle(command)
+
+    def kill(self) -> None:
+        self._dead = True
+
+    def close(self) -> None:
+        self._dead = True
+
+
+def _worker_main(config: WorkerConfig, commands, replies) -> None:
+    """Spawned-process entry point: build the core, answer commands.
+
+    Top-level (not a closure/lambda) so the spawn context can pickle it;
+    every reply is ``("ok", payload)`` or ``("error", repr)`` so a
+    worker-side exception surfaces at the dispatcher instead of hanging
+    the reply queue.
+    """
+    core = WorkerCore(config)
+    replies.put(("ready", config.name))
+    while True:
+        command = commands.get()
+        if command[0] == "stop":
+            break
+        try:
+            replies.put(("ok", core.handle(command)))
+        except Exception as exc:  # noqa: BLE001 - forwarded to dispatcher
+            replies.put(("error", repr(exc)))
+
+
+class ProcessWorkerClient:
+    """A worker in its own spawned OS process, driven over two queues."""
+
+    shares_store = False
+
+    #: seconds to wait for the child's ready handshake / one reply
+    SPAWN_TIMEOUT = 120.0
+    CALL_TIMEOUT = 600.0
+
+    def __init__(self, config: WorkerConfig) -> None:
+        if config.store_dir is None:
+            raise ValueError("process workers need a persisted store_dir")
+        self.name = config.name
+        self.config = config
+        context = multiprocessing.get_context("spawn")
+        self._commands = context.Queue()
+        self._replies = context.Queue()
+        self._process = context.Process(
+            target=_worker_main,
+            args=(config, self._commands, self._replies),
+            name=f"repro-worker-{config.name}",
+            daemon=True,
+        )
+        self._process.start()
+        status, _ = self._receive(self.SPAWN_TIMEOUT)
+        if status != "ready":
+            raise WorkerDied(f"worker {self.name} failed to start")
+
+    @property
+    def alive(self) -> bool:
+        return self._process.is_alive()
+
+    def call(self, command: Tuple, timeout: float = 0.0) -> Any:
+        if not self._process.is_alive():
+            raise WorkerDied(f"worker {self.name} process is dead")
+        self._commands.put(command)
+        status, payload = self._receive(timeout or self.CALL_TIMEOUT)
+        if status == "error":
+            raise RuntimeError(f"worker {self.name}: {payload}")
+        return payload
+
+    def _receive(self, timeout: float) -> Tuple[str, Any]:
+        """Poll the reply queue, noticing death instead of hanging."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self._replies.get(timeout=0.2)
+            except queue_mod.Empty:
+                if not self._process.is_alive():
+                    raise WorkerDied(
+                        f"worker {self.name} died mid-call "
+                        f"(exitcode {self._process.exitcode})"
+                    ) from None
+                if time.monotonic() > deadline:
+                    raise WorkerDied(
+                        f"worker {self.name} timed out after {timeout}s"
+                    ) from None
+
+    def kill(self) -> None:
+        """Fault injection / hard teardown: SIGKILL the process."""
+        if self._process.is_alive():
+            self._process.kill()
+        self._process.join(timeout=10)
+
+    def close(self) -> None:
+        if self._process.is_alive():
+            try:
+                self._commands.put(("stop",))
+                self._process.join(timeout=5)
+            except (ValueError, OSError):
+                pass
+        self.kill()

@@ -1,0 +1,117 @@
+"""Shared serving-configuration plumbing.
+
+``serve-bench`` (:mod:`repro.serve.bench`), the traffic harness
+(:mod:`repro.serve.traffic`), and the cluster dispatcher
+(:mod:`repro.serve.cluster`) all own a frozen config dataclass carrying
+the same serving knobs — system, cores, queue limit, cache capacity,
+deadline, reorder, backend, steal policy.  Before this module each of
+them re-implemented the ``ServeConfig`` construction (and the warm-vs-
+cold state comparison) by hand; :func:`build_serve_config` and
+:func:`compare_states` are the single copies they now share.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..algorithms import make as make_algorithm
+from ..algorithms.detect import AccumKind, detect_accum_kind
+from .service import ServeConfig
+
+#: warm-vs-cold agreement bound for sum-type accumulators: 2x the
+#: established cross-schedule spread (TestSchedulingEquivalence's 1e-3).
+#: Two schedules of the same cold start share one truncation point; warm
+#: and cold are *independently* truncated epsilon-fixpoints (different
+#: initial conditions), so their residual errors add — |warm - exact| +
+#: |cold - exact| <= 2x the single-run bound.
+SUM_STATE_TOLERANCE = 2e-3
+
+#: the ServeConfig fields a harness config may carry; missing attributes
+#: fall back to the ServeConfig default (see :func:`build_serve_config`)
+_SHARED_FIELDS = (
+    "system",
+    "cores",
+    "queue_limit",
+    "cache_capacity",
+    "steal_policy",
+    "reorder",
+    "backend",
+    "max_rounds",
+    "baseline_dir",
+)
+
+
+def build_serve_config(source, *, warm: bool = True, **overrides) -> ServeConfig:
+    """Build a :class:`ServeConfig` from any harness config object.
+
+    Reads the shared serving field names off ``source`` (``system``,
+    ``cores``, ``queue_limit``, ``cache_capacity``, ``steal_policy``,
+    ``reorder``, ``backend``, ...), maps the harness spelling
+    ``deadline_cycles`` onto ``default_deadline_cycles``, and applies
+    ``overrides`` last.
+
+    ``warm=False`` builds a **cold control**: warm-start off *and* the
+    result cache disabled — a control that still answered from cache
+    would not isolate what warm-start buys.
+    """
+    kwargs = {}
+    for name in _SHARED_FIELDS:
+        value = getattr(source, name, None)
+        if value is not None:
+            kwargs[name] = value
+    deadline = getattr(source, "deadline_cycles", None)
+    if deadline is not None:
+        kwargs["default_deadline_cycles"] = deadline
+    kwargs["warm"] = warm
+    if not warm:
+        kwargs["cache_capacity"] = 0
+    kwargs.update(overrides)
+    return ServeConfig(**kwargs)
+
+
+def compare_states(
+    algorithm_name: str, warm, cold
+) -> Tuple[bool, float]:
+    """Warm-vs-cold state agreement under the accumulator-kind rules.
+
+    Returns ``(match, sum_divergence)``: min/max accumulators must be
+    bit-identical; sum-type states must agree within
+    :data:`SUM_STATE_TOLERANCE` (both-infinite entries compare equal).
+    """
+    kind = detect_accum_kind(make_algorithm(algorithm_name))
+    a = np.asarray(warm, dtype=np.float64)
+    b = np.asarray(cold, dtype=np.float64)
+    if kind is AccumKind.MIN_MAX:
+        return bool(np.array_equal(a, b)), 0.0
+    both_inf = np.isinf(a) & np.isinf(b)
+    diff = (
+        float(np.max(np.abs(np.where(both_inf, 0.0, a - b)))) if a.size else 0.0
+    )
+    return diff < SUM_STATE_TOLERANCE, diff
+
+
+def summarize_states(states) -> dict:
+    """A compact, JSON-friendly digest of a run's converged states.
+
+    The cluster front door answers queries over HTTP; shipping a full
+    per-vertex state vector for every request is the wrong default, so
+    responses carry this digest (count / min / max / mean / finite sum)
+    instead.  Infinite entries (unreached vertices under min/max
+    algorithms) are counted separately and excluded from the sum.
+    """
+    array = np.asarray(states, dtype=np.float64)
+    if array.size == 0:
+        return {"n": 0, "finite": 0, "min": 0.0, "max": 0.0, "sum": 0.0}
+    finite = np.isfinite(array)
+    finite_values = array[finite]
+    return {
+        "n": int(array.size),
+        "finite": int(finite_values.size),
+        "min": float(np.min(finite_values)) if finite_values.size else 0.0,
+        "max": float(np.max(finite_values)) if finite_values.size else 0.0,
+        "sum": float(np.sum(finite_values)) if finite_values.size else 0.0,
+    }
+
+

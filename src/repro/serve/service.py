@@ -43,6 +43,31 @@ STATUS_OK = "ok"
 STATUS_SHED_QUEUE = "shed-queue"
 STATUS_SHED_DEADLINE = "shed-deadline"
 
+#: the ``serve.*`` counters every dispatch surface pre-creates, so every
+#: service (and every cluster worker) reports the same key set and
+#: counter diffs line up key-for-key (the ``SchedCounters.flush_policy``
+#: discipline)
+SERVE_COUNTER_FAMILY = (
+    "serve.submitted",
+    "serve.admitted",
+    "serve.shed_queue",
+    "serve.shed_deadline",
+    "serve.cache_hits",
+    "serve.cache_misses",
+    "serve.engine_runs",
+    "serve.warm_runs",
+    "serve.cold_runs",
+    "serve.warm_fallbacks",
+    "serve.baseline_inherited",
+    "serve.warm_updates",
+    "serve.cold_updates",
+    "serve.updates_applied",
+    "serve.edges_added",
+    "serve.edges_removed",
+    "serve.edges_reweighted",
+    "serve.vertices_added",
+)
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -67,6 +92,10 @@ class ServeConfig:
     #: see :mod:`repro.runtime.vector`); answers must agree across
     #: backends under the usual accumulator-kind tolerance rules
     backend: str = "scalar"
+    #: cross-engine baseline spool: converged baselines are checkpointed
+    #: here and inherited by engines that never ran the lineage (forked
+    #: services, restarted cluster workers) — see ``serve.engine``
+    baseline_dir: Optional[str] = None
 
     def hardware(self) -> HardwareConfig:
         return HardwareConfig.scaled(num_cores=self.cores)
@@ -94,10 +123,19 @@ class ServeResponse:
     key: Optional[QueryKey] = None
     cache_hit: bool = False
     warm: bool = False
+    #: warm-started from an inherited baseline (see ``serve.engine``)
+    inherited: bool = False
     fallback_reason: str = ""
     latency_cycles: float = 0.0
+    #: simulated-clock instant the request reached this terminal state
+    completed_cycles: float = 0.0
     wall_seconds: float = 0.0
     run: Optional[EngineRun] = None
+    #: cluster only: the worker slot that executed the run ("" locally)
+    worker: str = ""
+    #: cluster only: compact digest of the converged states (the HTTP
+    #: response payload; local responses carry the full ``run`` instead)
+    summary: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -128,6 +166,7 @@ class GraphService:
             warm=self.config.warm,
             max_rounds=self.config.max_rounds,
             reorder=self.config.reorder,
+            baseline_dir=self.config.baseline_dir,
             steal_policy=self.config.steal_policy,
             backend=self.config.backend,
         )
@@ -169,7 +208,10 @@ class GraphService:
         self._next_request_id += 1
         if len(self.batcher) >= self.config.queue_limit:
             metrics.inc("serve.shed_queue")
-            response = ServeResponse(request_id, STATUS_SHED_QUEUE)
+            response = ServeResponse(
+                request_id, STATUS_SHED_QUEUE,
+                completed_cycles=self.now_cycles,
+            )
             self._responses.append(response)
             return response
         resolved = (
@@ -265,6 +307,7 @@ class GraphService:
                         STATUS_SHED_DEADLINE,
                         key=key,
                         latency_cycles=waited,
+                        completed_cycles=self.now_cycles,
                         wall_seconds=time.perf_counter()
                         - pending.wall_enqueued,
                     )
@@ -294,6 +337,10 @@ class GraphService:
                 metrics.inc("serve.warm_runs")
                 metrics.inc("serve.warm_updates", run.updates)
                 metrics.observe("serve.warm_seeded", run.seeded)
+                if run.inherited:
+                    # warm-started from a baseline another engine converged
+                    # (installed or spool-loaded): a fork answering warm
+                    metrics.inc("serve.baseline_inherited")
             else:
                 metrics.inc("serve.cold_runs")
                 metrics.inc("serve.cold_updates", run.updates)
@@ -315,8 +362,10 @@ class GraphService:
                     key=key,
                     cache_hit=cache_hit,
                     warm=run.warm,
+                    inherited=run.inherited,
                     fallback_reason=run.fallback_reason,
                     latency_cycles=latency,
+                    completed_cycles=self.now_cycles,
                     wall_seconds=time.perf_counter() - pending.wall_enqueued,
                     run=run,
                 )
@@ -350,27 +399,7 @@ class GraphService:
         return self.metrics.as_dict(prefix="obs.")
 
     def _zero_seed_counters(self) -> None:
-        """Pre-create the counter family so every service reports the same
-        ``obs.serve.*`` keys and counter diffs line up key-for-key (the
-        same discipline ``SchedCounters.flush_policy`` applies)."""
-        for name in (
-            "serve.submitted",
-            "serve.admitted",
-            "serve.shed_queue",
-            "serve.shed_deadline",
-            "serve.cache_hits",
-            "serve.cache_misses",
-            "serve.engine_runs",
-            "serve.warm_runs",
-            "serve.cold_runs",
-            "serve.warm_fallbacks",
-            "serve.warm_updates",
-            "serve.cold_updates",
-            "serve.updates_applied",
-            "serve.edges_added",
-            "serve.edges_removed",
-            "serve.edges_reweighted",
-            "serve.vertices_added",
-        ):
+        """Pre-create :data:`SERVE_COUNTER_FAMILY` (zero-seeding)."""
+        for name in SERVE_COUNTER_FAMILY:
             self.metrics.inc(name, 0.0)
         self.metrics.set("serve.version", 0.0)

@@ -196,9 +196,9 @@ class GraphStore:
     never observe a half-applied update.
     """
 
-    def __init__(self, base: CSRGraph) -> None:
+    def __init__(self, base: CSRGraph, base_version: int = 0) -> None:
         self._lock = threading.Lock()
-        self._versions: List[GraphVersion] = [GraphVersion(0, base)]
+        self._versions: List[GraphVersion] = [GraphVersion(base_version, base)]
 
     # ------------------------------------------------------------------
     @property
@@ -209,12 +209,20 @@ class GraphStore:
     def latest_version(self) -> int:
         return self._versions[-1].version
 
+    @property
+    def first_version(self) -> int:
+        """The oldest still-resolvable version (> 0 after compaction)."""
+        return self._versions[0].version
+
     def get(self, version: int) -> GraphVersion:
-        if not 0 <= version < len(self._versions):
+        first = self._versions[0].version
+        if not first <= version <= self._versions[-1].version:
             raise KeyError(
-                f"unknown graph version {version}; have 0..{len(self._versions) - 1}"
+                f"unknown graph version {version}; have "
+                f"{first}..{self._versions[-1].version}"
+                + (" (older versions compacted away)" if first else "")
             )
-        return self._versions[version]
+        return self._versions[version - first]
 
     def __len__(self) -> int:
         return len(self._versions)
@@ -250,9 +258,42 @@ class GraphStore:
         if start > end:
             raise ValueError("chain requires start <= end")
         self.get(start), self.get(end)  # bounds check
+        first = self._versions[0].version
         return tuple(
-            self._versions[v].delta for v in range(start + 1, end + 1)
+            self._versions[v - first].delta for v in range(start + 1, end + 1)
         )
+
+    # ------------------------------------------------------------------
+    def compact(self, keep_last: int = 8) -> int:
+        """Fold old deltas into a new base snapshot; prune the chain.
+
+        The manifest chain otherwise grows without bound under sustained
+        mutation.  Compaction picks the pivot ``latest - keep_last``,
+        makes that version's (already materialised) snapshot the new
+        base, and drops every older version *and* the deltas that built
+        the pivot — they are folded into the pivot's CSR arrays.
+
+        Version-resolution semantics are preserved for every retained
+        version: ids keep their original numbering, ``get``/``chain``
+        answer exactly as before for versions ``>= first_version``, and
+        older ids now raise ``KeyError`` (callers holding pre-compaction
+        baselines fall back cold — see ``serve.engine``).  Returns the
+        number of versions pruned.
+        """
+        if keep_last < 0:
+            raise ValueError("keep_last must be non-negative")
+        with self._lock:
+            pivot = self._versions[-1].version - keep_last
+            first = self._versions[0].version
+            if pivot <= first:
+                return 0
+            pruned = pivot - first
+            pivot_snapshot = self._versions[pivot - first]
+            # the new base: same version id and CSR arrays, but no delta /
+            # parent — its history is folded into the snapshot itself
+            new_base = GraphVersion(pivot_snapshot.version, pivot_snapshot.graph)
+            self._versions = [new_base] + self._versions[pivot - first + 1 :]
+            return pruned
 
     # ------------------------------------------------------------------
     # Persistence: base snapshot + replayable delta manifest.
@@ -273,6 +314,7 @@ class GraphStore:
         graph_io.save_csr(versions[0].graph, os.path.join(path, _BASE_FILE))
         manifest = {
             "format": STORE_FORMAT,
+            "base_version": versions[0].version,
             "num_versions": len(versions),
             "deltas": [v.delta.to_dict() for v in versions[1:]],
         }
@@ -296,7 +338,7 @@ class GraphStore:
                 f"unsupported graph store format {fmt!r} in {manifest_path}"
             )
         base = graph_io.load_csr(os.path.join(path, _BASE_FILE))
-        store = cls(base)
+        store = cls(base, base_version=int(manifest.get("base_version", 0)))
         for data in manifest.get("deltas", ()):
             store.apply(GraphDelta.from_dict(data))
         expected = manifest.get("num_versions", len(store))

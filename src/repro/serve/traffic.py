@@ -47,6 +47,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..experiments.common import ExperimentTable
 from ..graph import datasets
+from .cluster.dispatch import ClusterService
+from .config import build_serve_config
 from .service import GraphService, ServeConfig, ServeResponse
 from .store import GraphDelta
 
@@ -177,22 +179,21 @@ class TrafficConfig:
     cache_capacity: int = 32
     #: per-request deadline, in simulated cycles from admission
     deadline_cycles: float = 2_000_000.0
+    #: ``0`` drives the embedded single-process :class:`GraphService`
+    #: (the original harness); ``>= 1`` drives a
+    #: :class:`repro.serve.cluster.ClusterService` with that many
+    #: inline workers — note ``workers=1`` is a one-worker *cluster*
+    #: (dispatcher overhead included), the scaling baseline
+    workers: int = 0
+    #: cluster transport when ``workers >= 1`` (``inline`` keeps sweeps
+    #: deterministic; ``process`` spawns real OS workers)
+    transport: str = "inline"
     #: shadow each level with warm-start off + cache disabled
     cold_control: bool = True
     out_dir: str = "results"
 
     def serve_config(self, warm: bool = True) -> ServeConfig:
-        return ServeConfig(
-            system=self.system,
-            cores=self.cores,
-            queue_limit=self.queue_limit,
-            cache_capacity=self.cache_capacity if warm else 0,
-            default_deadline_cycles=self.deadline_cycles,
-            warm=warm,
-            steal_policy=self.steal_policy,
-            reorder=self.reorder,
-            backend=self.backend,
-        )
+        return build_serve_config(self, warm=warm)
 
     def gate_config(self) -> Dict[str, object]:
         """The identity the SLO gate matches baselines against — every
@@ -216,6 +217,7 @@ class TrafficConfig:
             "queue_limit": self.queue_limit,
             "cache_capacity": self.cache_capacity,
             "deadline_cycles": self.deadline_cycles,
+            "workers": self.workers,
         }
 
 
@@ -281,7 +283,15 @@ class TrafficRun:
         self.time_rng = random.Random(label + "/time")
         self.mut_rng = random.Random(label + "/mutations")
         graph = datasets.load(config.dataset, scale=config.scale)
-        self.service = GraphService(graph, config.serve_config(warm))
+        if config.workers >= 1:
+            self.service = ClusterService(
+                graph,
+                config.serve_config(warm),
+                workers=config.workers,
+                transport=config.transport,
+            )
+        else:
+            self.service = GraphService(graph, config.serve_config(warm))
         self.catalog = default_catalog(config.algorithms)
         self.zipf = ZipfChooser(len(self.catalog), config.zipf_s)
         self.stats = LevelStats(config.mode, level, warm)
@@ -334,8 +344,10 @@ class TrafficRun:
         if response.ok:
             # offered-load latency: from the *scheduled* arrival, so time
             # spent waiting to be admitted (the service was mid-run when
-            # the client showed up) counts too
-            latency = self.service.now_cycles - sched_time
+            # the client showed up) counts too; the completion instant is
+            # the response's own (cluster workers finish on their private
+            # busy clocks, past the dispatcher's ``now``)
+            latency = response.completed_cycles - sched_time
             self.stats.ok += 1
             self.stats.latencies.append(latency)
             metrics.inc("traffic.ok")
@@ -388,8 +400,12 @@ class TrafficRun:
                 if self._submit(sched_time, user) is not None:
                     # shed at admission: the user thinks, then retries
                     self._push(heap, now + self._think(), user)
-            for user, _ in self._dispatch_one():
-                self._push(heap, service.now_cycles + self._think(), user)
+            for user, response in self._dispatch_one():
+                # the user's next think starts when their answer lands:
+                # the batch's completion instant (== ``now`` for the
+                # single service; a worker's busy clock for the cluster)
+                done = max(response.completed_cycles, service.now_cycles)
+                self._push(heap, done + self._think(), user)
 
     def run_open(self, per_mcycle: float, count: int) -> None:
         """A Poisson arrival stream at ``per_mcycle`` queries/Mcycle."""
@@ -432,9 +448,16 @@ class TrafficRun:
         stats = self.stats
         service = self.service
         metrics = service.metrics
-        stats.sim_cycles = service.now_cycles
-        engine_runs = metrics.counter_value("serve.engine_runs")
-        warm_runs = metrics.counter_value("serve.warm_runs")
+        # the cluster's span runs to its busiest worker's clock, not the
+        # dispatcher's; the single service has no separate worker clocks
+        stats.sim_cycles = getattr(
+            service, "makespan_cycles", service.now_cycles
+        )
+        # the cluster keeps serve.* counters in its workers, not in the
+        # dispatcher registry, so read them from the aggregated snapshot
+        snapshot = service.metrics_snapshot()
+        engine_runs = snapshot.get("obs.serve.engine_runs", 0.0)
+        warm_runs = snapshot.get("obs.serve.warm_runs", 0.0)
         metrics.set("traffic.offered_load", stats.level)
         metrics.set("traffic.sim_cycles", stats.sim_cycles)
         metrics.set("traffic.shed_rate", stats.shed_rate)

@@ -51,6 +51,7 @@ FALLBACK_UNTRANSFORMABLE = "untransformable"
 FALLBACK_REMOVAL = "non-monotone-removal"
 FALLBACK_REWEIGHT = "non-monotone-reweight"
 FALLBACK_NO_BASELINE = "no-baseline"
+FALLBACK_COMPACTED = "compacted-baseline"
 
 
 @dataclass
