@@ -36,6 +36,13 @@ import json
 import sys
 from pathlib import Path
 
+# the gate scripts are run as files (CI) and loaded via
+# spec_from_file_location (tests) — neither puts benchmarks/ on the
+# path, so add it before importing the shared step-summary helper
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from gate_summary import write_step_summary  # noqa: E402
+
 BASELINES = Path(__file__).resolve().parent / "baselines.json"
 METRICS = Path("results/fig11.metrics.json")
 
@@ -108,11 +115,13 @@ def _update(runs: dict, config: dict) -> int:
 def _check(runs: dict, config: dict) -> int:
     baselines = json.loads(BASELINES.read_text(encoding="utf-8"))
     if baselines.get("config") != config:
-        print(
-            f"FAIL: metrics config {config} does not match baseline config "
+        failure = (
+            f"metrics config {config} does not match baseline config "
             f"{baselines.get('config')}; run the smoke config documented in "
             "baselines.json['regenerate']"
         )
+        print(f"FAIL: {failure}")
+        write_step_summary("perf gate (fig11 counters)", [failure])
         return 1
     failures = []
     missing = []
@@ -158,16 +167,18 @@ def _check(runs: dict, config: dict) -> int:
             f"{len(missing)} baseline runs absent from metrics (first: "
             f"{missing[0]}); regenerate baselines if the sweep changed"
         )
-    if failures:
-        for failure in failures:
-            print(f"FAIL: {failure}")
-        return 1
-    print(
+    ok_line = (
         f"perf gate OK: {len(baselines['runs'])} runs within slack "
         f"(llc drop < {LLC_DROP_SLACK:.0%}, steal growth < "
         f"{STEALS_GROWTH_SLACK:.0%}, span-share drift < "
         f"{SPAN_SHARE_SLACK:.2f})"
     )
+    write_step_summary("perf gate (fig11 counters)", failures, ok_line)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(ok_line)
     return 0
 
 

@@ -27,6 +27,13 @@ import json
 import sys
 from pathlib import Path
 
+# the gate scripts are run as files (CI) and loaded via
+# spec_from_file_location (tests) — neither puts benchmarks/ on the
+# path, so add it before importing the shared step-summary helper
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from gate_summary import write_step_summary  # noqa: E402
+
 DEFAULT_METRICS = Path("results/reorder_compare.metrics.json")
 
 L2 = "obs.cache.l2.hit_rate"
@@ -83,15 +90,17 @@ def main(argv=None) -> int:
             "L2 and LLC hit rates at or above the identity run"
         )
 
-    if failures:
-        for failure in failures:
-            print(f"FAIL: {failure}")
-        return 1
-    print(
+    ok_line = (
         f"reorder gate OK: {len(runs)} runs, all states match; degree "
         f"ordering improves locality on {len(improved)} pair(s): "
         + ", ".join(sorted(improved))
     )
+    write_step_summary("reorder gate (locality + equivalence)", failures, ok_line)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(ok_line)
     return 0
 
 

@@ -41,6 +41,24 @@ over the 1-worker baseline.  Regenerate with::
 
     PYTHONPATH=src python -m repro experiment cluster \
         && python benchmarks/check_slo.py --section cluster --update
+
+``--section stream`` gates the streaming-ingest sweep
+(``results/stream_ingest.metrics.json``, written by
+``python -m repro experiment stream``) against the ``"stream"``
+section: per-cadence-level sustained ingest rate (events/Mcycle must
+not drop more than 10 %) and p95 staleness (same growth slack as the
+latency checks), plus the sweep's structural checks — standing-query
+states must match the cold control, the same-seed replay must stay
+bit-identical on ``obs.stream.*``/``obs.serve.*`` counters, and the
+published snapshot-chain digest must equal the recorded one.
+Regenerate with::
+
+    PYTHONPATH=src python -m repro experiment stream \
+        && python benchmarks/check_slo.py --section stream --update
+
+When ``GITHUB_STEP_SUMMARY`` is set (GitHub Actions), every verdict is
+also appended there as a markdown pass/fail table (see
+``gate_summary.py``).
 """
 
 from __future__ import annotations
@@ -50,13 +68,22 @@ import json
 import sys
 from pathlib import Path
 
+# the gate scripts are run as files (CI) and loaded via
+# spec_from_file_location (tests) — neither puts benchmarks/ on the
+# path, so add it before importing the shared step-summary helper
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from gate_summary import write_step_summary  # noqa: E402
+
 BASELINES = Path(__file__).resolve().parent / "baselines.json"
 METRICS = Path("results/traffic_slo.metrics.json")
 CLUSTER_METRICS = Path("results/cluster_scaling.metrics.json")
+STREAM_METRICS = Path("results/stream_ingest.metrics.json")
 
-#: the baselines.json key this gate owns (check_baselines.py owns "runs")
+#: the baselines.json keys this gate owns (check_baselines.py owns "runs")
 SECTION = "traffic"
 CLUSTER_SECTION = "cluster"
+STREAM_SECTION = "stream"
 
 P95 = "obs.traffic.latency_p95_cycles"
 MEAN = "obs.traffic.latency_cycles.mean"
@@ -101,12 +128,120 @@ THROUGHPUT_DROP_SLACK = 0.10
 #: extra config keys that define the cluster-sweep identity
 CLUSTER_CONFIG_KEYS = CONFIG_KEYS + ("workers", "worker_counts")
 
+#: allowed relative drop in sustained ingest rate (stream section)
+INGEST_DROP_SLACK = 0.10
 
+#: config keys that define the stream-sweep identity
+STREAM_CONFIG_KEYS = (
+    "dataset",
+    "scale",
+    "seed",
+    "system",
+    "cores",
+    "backend",
+    "reorder",
+    "cadence",
+    "events",
+    "mean_gap_cycles",
+    "event_mix",
+    "queries",
+    "compact_every",
+    "keep_last",
+    "queue_limit",
+    "cache_capacity",
+    "workers",
+    "cadence_levels",
+)
+
+#: gate name (for the step summary) and regenerate hint per section
+_GATE_NAMES = {
+    SECTION: "SLO gate (traffic)",
+    CLUSTER_SECTION: "SLO gate (cluster)",
+    STREAM_SECTION: "SLO gate (stream)",
+}
+_REGEN_HINTS = {
+    SECTION: "PYTHONPATH=src python -m repro traffic",
+    CLUSTER_SECTION: "PYTHONPATH=src python -m repro experiment cluster",
+    STREAM_SECTION: "PYTHONPATH=src python -m repro experiment stream",
+}
+
+
+class GateError(Exception):
+    """A structural problem that fails the gate with one clear line
+    (missing file, missing section, malformed payload) — never a
+    traceback."""
+
+
+def _read_json(path: Path, what: str) -> dict:
+    if not path.exists():
+        raise GateError(f"{what} {path} not found")
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise GateError(f"{what} {path} is not valid JSON: {exc}") from None
+
+
+def _require(payload: dict, key: str, path: Path, section: str) -> object:
+    value = payload.get(key)
+    if value is None:
+        raise GateError(
+            f"metrics file {path} has no {key!r} key — not a "
+            f"{section!r} sweep? regenerate with "
+            f"`{_REGEN_HINTS[section]}`"
+        )
+    return value
+
+
+def _load_section(baselines_path: Path, section: str) -> dict:
+    """The baseline section for ``section``, or a :class:`GateError`
+    naming the one-line fix."""
+    payload = _read_json(baselines_path, "baselines file")
+    found = payload.get(section)
+    if not found:
+        raise GateError(
+            f"{baselines_path} has no {section!r} section; run "
+            f"`python benchmarks/check_slo.py --section {section} "
+            "--update` on a healthy sweep"
+        )
+    return found
+
+
+def _config_failures(section_payload: dict, config: dict, keys, section: str):
+    """Config-identity mismatches, as failure lines (empty when equal)."""
+    if section_payload.get("config") == config:
+        return []
+    failures = [
+        "sweep config does not match baseline config; run the config "
+        f"documented in baselines.json[{section!r}]['regenerate']"
+    ]
+    for key in keys:
+        want = section_payload.get("config", {}).get(key)
+        have = config.get(key)
+        if want != have:
+            failures.append(f"  {key}: baseline {want!r} != sweep {have!r}")
+    return failures
+
+
+def _finish(section: str, failures, ok_line: str) -> int:
+    """Print the verdict, mirror it to the step summary, return rc."""
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    write_step_summary(_GATE_NAMES[section], failures, ok_line)
+    if failures:
+        return 1
+    print(ok_line)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Traffic section.
+# ----------------------------------------------------------------------
 def _load_metrics(path: Path):
-    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload = _read_json(path, "metrics file")
+    levels = _require(payload, "levels", path, SECTION)
     sweep_config = payload.get("config", {})
     config = {key: sweep_config.get(key) for key in CONFIG_KEYS}
-    return payload["levels"], config
+    return levels, config
 
 
 def _level_stats(level: dict) -> dict:
@@ -152,28 +287,11 @@ def _update(levels: dict, config: dict, baselines_path: Path) -> int:
 
 
 def _check(levels: dict, config: dict, baselines_path: Path) -> int:
-    payload = json.loads(baselines_path.read_text(encoding="utf-8"))
-    section = payload.get(SECTION)
-    if not section:
-        print(
-            f"FAIL: {baselines_path} has no {SECTION!r} section; run "
-            "`python benchmarks/check_slo.py --update` on a healthy sweep"
-        )
-        return 1
-    if section.get("config") != config:
-        print(
-            f"FAIL: sweep config does not match baseline config; run the "
-            f"smoke config documented in baselines.json[{SECTION!r}]"
-            f"['regenerate']"
-        )
-        for key in CONFIG_KEYS:
-            want = section.get("config", {}).get(key)
-            have = config.get(key)
-            if want != have:
-                print(f"  {key}: baseline {want!r} != sweep {have!r}")
-        return 1
+    section = _load_section(baselines_path, SECTION)
+    failures = _config_failures(section, config, CONFIG_KEYS, SECTION)
+    if failures:
+        return _finish(SECTION, failures, "")
 
-    failures = []
     for label, base in section["levels"].items():
         level = levels.get(label)
         if level is None:
@@ -207,21 +325,22 @@ def _check(levels: dict, config: dict, baselines_path: Path) -> int:
                     f"{label}: warm mean latency {stats['mean_cycles']:.0f} "
                     f"not below cold control {stats['cold_mean_cycles']:.0f}"
                 )
-    if failures:
-        for failure in failures:
-            print(f"FAIL: {failure}")
-        return 1
-    print(
+    return _finish(
+        SECTION,
+        failures,
         f"SLO gate OK: {len(section['levels'])} levels within slack "
         f"(p95 growth < {P95_GROWTH_SLACK:.0%}, shed growth < "
         f"{SHED_RATE_SLACK:.2f} points, warm beats cold control on mean "
-        f"and holds p95 within {COLD_P95_TOLERANCE:.0%})"
+        f"and holds p95 within {COLD_P95_TOLERANCE:.0%})",
     )
-    return 0
 
 
+# ----------------------------------------------------------------------
+# Cluster section.
+# ----------------------------------------------------------------------
 def _load_cluster_metrics(path: Path):
-    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload = _read_json(path, "metrics file")
+    _require(payload, "workers", path, CLUSTER_SECTION)
     sweep_config = payload.get("config", {})
     config = {key: sweep_config.get(key) for key in CLUSTER_CONFIG_KEYS}
     return payload, config
@@ -259,29 +378,13 @@ def _cluster_update(payload: dict, config: dict, baselines_path: Path) -> int:
 
 
 def _cluster_check(payload: dict, config: dict, baselines_path: Path) -> int:
-    baselines = json.loads(baselines_path.read_text(encoding="utf-8"))
-    section = baselines.get(CLUSTER_SECTION)
-    if not section:
-        print(
-            f"FAIL: {baselines_path} has no {CLUSTER_SECTION!r} section; run "
-            "`python benchmarks/check_slo.py --section cluster --update` on "
-            "a healthy sweep"
-        )
-        return 1
-    if section.get("config") != config:
-        print(
-            "FAIL: sweep config does not match baseline config; run the "
-            f"config documented in baselines.json[{CLUSTER_SECTION!r}]"
-            "['regenerate']"
-        )
-        for key in CLUSTER_CONFIG_KEYS:
-            want = section.get("config", {}).get(key)
-            have = config.get(key)
-            if want != have:
-                print(f"  {key}: baseline {want!r} != sweep {have!r}")
-        return 1
+    section = _load_section(baselines_path, CLUSTER_SECTION)
+    failures = _config_failures(
+        section, config, CLUSTER_CONFIG_KEYS, CLUSTER_SECTION
+    )
+    if failures:
+        return _finish(CLUSTER_SECTION, failures, "")
 
-    failures = []
     # structural: the sweep's own acceptance checks must hold
     if not payload.get("deterministic_replay"):
         failures.append(
@@ -330,16 +433,114 @@ def _cluster_check(payload: dict, config: dict, baselines_path: Path) -> int:
                 f"{point['throughput_q_per_mcycle']:.2f} q/Mcycle (dropped "
                 f"more than {THROUGHPUT_DROP_SLACK:.0%})"
             )
-    if failures:
-        for failure in failures:
-            print(f"FAIL: {failure}")
-        return 1
-    print(
+    return _finish(
+        CLUSTER_SECTION,
+        failures,
         f"cluster gate OK: {len(section['workers'])} worker counts within "
         f"slack, replay deterministic, {payload.get('gate_workers')}-worker "
-        f"speedup {speedup:.2f}x >= {target:g}x, warm p95 beats cold control"
+        f"speedup {speedup:.2f}x >= {target:g}x, warm p95 beats cold control",
+    )
+
+
+# ----------------------------------------------------------------------
+# Stream section.
+# ----------------------------------------------------------------------
+def _load_stream_metrics(path: Path):
+    payload = _read_json(path, "metrics file")
+    _require(payload, "levels", path, STREAM_SECTION)
+    sweep_config = payload.get("config", {})
+    config = {key: sweep_config.get(key) for key in STREAM_CONFIG_KEYS}
+    return payload, config
+
+
+def _stream_update(payload: dict, config: dict, baselines_path: Path) -> int:
+    baselines = {}
+    if baselines_path.exists():
+        baselines = json.loads(baselines_path.read_text(encoding="utf-8"))
+    baselines[STREAM_SECTION] = {
+        "config": config,
+        "regenerate": (
+            "PYTHONPATH=src python -m repro experiment stream "
+            "&& python benchmarks/check_slo.py --section stream --update"
+        ),
+        "levels": {
+            label: {
+                "updates_per_mcycle": level["updates_per_mcycle"],
+                "staleness_p95_cycles": level["staleness_p95_cycles"],
+            }
+            for label, level in sorted(payload["levels"].items())
+        },
+        "chain_sha": payload.get("chain_sha", ""),
+    }
+    baselines_path.write_text(
+        json.dumps(baselines, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(
+        f"wrote {baselines_path} [{STREAM_SECTION}] "
+        f"({len(payload['levels'])} cadence levels)"
     )
     return 0
+
+
+def _stream_check(payload: dict, config: dict, baselines_path: Path) -> int:
+    section = _load_section(baselines_path, STREAM_SECTION)
+    failures = _config_failures(
+        section, config, STREAM_CONFIG_KEYS, STREAM_SECTION
+    )
+    if failures:
+        return _finish(STREAM_SECTION, failures, "")
+
+    # structural: the sweep's own acceptance checks must hold
+    if not payload.get("deterministic_replay"):
+        failures.append(
+            "same-seed replay diverged on obs.stream.*/obs.serve.* counters "
+            "or the snapshot-chain digest"
+        )
+    if not payload.get("states_match"):
+        failures.append(
+            "warm standing-query states diverged from the cold control"
+        )
+    want_sha = section.get("chain_sha", "")
+    have_sha = payload.get("chain_sha", "")
+    if want_sha and have_sha != want_sha:
+        failures.append(
+            f"published snapshot-chain digest changed: baseline {want_sha} "
+            f"!= sweep {have_sha} (event stream or delta folding drifted; "
+            "regenerate if intentional)"
+        )
+    for label, base in section["levels"].items():
+        level = payload["levels"].get(label)
+        if level is None:
+            failures.append(f"{label}: cadence level missing from the sweep")
+            continue
+        floor = base["updates_per_mcycle"] * (1.0 - INGEST_DROP_SLACK)
+        if level["updates_per_mcycle"] < floor:
+            failures.append(
+                f"{label}: sustained ingest "
+                f"{base['updates_per_mcycle']:.2f} -> "
+                f"{level['updates_per_mcycle']:.2f} events/Mcycle (dropped "
+                f"more than {INGEST_DROP_SLACK:.0%})"
+            )
+        allowed = (
+            base["staleness_p95_cycles"] * (1.0 + P95_GROWTH_SLACK)
+            + P95_ABS_SLACK
+        )
+        if level["staleness_p95_cycles"] > allowed:
+            failures.append(
+                f"{label}: p95 staleness "
+                f"{base['staleness_p95_cycles']:.0f} -> "
+                f"{level['staleness_p95_cycles']:.0f} cycles (grew more "
+                f"than {P95_GROWTH_SLACK:.0%} + {P95_ABS_SLACK:.0f})"
+            )
+    return _finish(
+        STREAM_SECTION,
+        failures,
+        f"stream gate OK: {len(section['levels'])} cadence levels within "
+        f"slack (ingest drop < {INGEST_DROP_SLACK:.0%}, staleness growth < "
+        f"{P95_GROWTH_SLACK:.0%}), states match the cold control, replay "
+        "deterministic, chain digest pinned",
+    )
 
 
 def main(argv=None) -> int:
@@ -347,12 +548,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--update",
         action="store_true",
-        help="rewrite the traffic section of baselines.json from the "
+        help="rewrite the selected section of baselines.json from the "
         "current sweep metrics",
     )
     parser.add_argument(
         "--section",
-        choices=(SECTION, CLUSTER_SECTION),
+        choices=(SECTION, CLUSTER_SECTION, STREAM_SECTION),
         default=SECTION,
         help="baselines.json section to gate (default: %(default)s)",
     )
@@ -360,8 +561,9 @@ def main(argv=None) -> int:
         "--metrics",
         type=Path,
         default=None,
-        help=f"sweep metrics.json to gate on (default: {METRICS} or "
-        f"{CLUSTER_METRICS} for --section cluster)",
+        help=f"sweep metrics.json to gate on (default: {METRICS}, "
+        f"{CLUSTER_METRICS} for --section cluster, or {STREAM_METRICS} "
+        "for --section stream)",
     )
     parser.add_argument(
         "--baselines",
@@ -370,23 +572,32 @@ def main(argv=None) -> int:
         help=f"baselines file (default: {BASELINES})",
     )
     args = parser.parse_args(argv)
-    if args.section == CLUSTER_SECTION:
-        metrics = args.metrics or CLUSTER_METRICS
-        payload, config = _load_cluster_metrics(metrics)
-        if not payload.get("workers"):
-            print(f"FAIL: {metrics} recorded no worker counts")
-            return 1
+    try:
+        if args.section == CLUSTER_SECTION:
+            metrics = args.metrics or CLUSTER_METRICS
+            payload, config = _load_cluster_metrics(metrics)
+            if not payload.get("workers"):
+                raise GateError(f"{metrics} recorded no worker counts")
+            if args.update:
+                return _cluster_update(payload, config, args.baselines)
+            return _cluster_check(payload, config, args.baselines)
+        if args.section == STREAM_SECTION:
+            metrics = args.metrics or STREAM_METRICS
+            payload, config = _load_stream_metrics(metrics)
+            if not payload.get("levels"):
+                raise GateError(f"{metrics} recorded no cadence levels")
+            if args.update:
+                return _stream_update(payload, config, args.baselines)
+            return _stream_check(payload, config, args.baselines)
+        metrics = args.metrics or METRICS
+        levels, config = _load_metrics(metrics)
+        if not levels:
+            raise GateError(f"{metrics} recorded no levels")
         if args.update:
-            return _cluster_update(payload, config, args.baselines)
-        return _cluster_check(payload, config, args.baselines)
-    metrics = args.metrics or METRICS
-    levels, config = _load_metrics(metrics)
-    if not levels:
-        print(f"FAIL: {metrics} recorded no levels")
-        return 1
-    if args.update:
-        return _update(levels, config, args.baselines)
-    return _check(levels, config, args.baselines)
+            return _update(levels, config, args.baselines)
+        return _check(levels, config, args.baselines)
+    except GateError as exc:
+        return _finish(args.section, [str(exc)], "")
 
 
 if __name__ == "__main__":

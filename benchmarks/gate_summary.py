@@ -1,0 +1,48 @@
+"""Shared ``$GITHUB_STEP_SUMMARY`` reporting for the CI gate scripts.
+
+Every gate (``check_baselines.py``, ``check_slo.py``,
+``check_reorder.py``) prints its verdict to stdout for local runs; in
+CI those lines are buried in the job log.  When GitHub Actions exposes
+``GITHUB_STEP_SUMMARY`` (a file the runner renders as markdown on the
+job's summary page), :func:`write_step_summary` appends a pass/fail
+table there too, so gate outcomes are readable from the Actions UI
+without downloading artifacts or scrolling logs.
+
+Outside CI the environment variable is unset and the helper is a no-op,
+so the gates behave identically under plain ``python benchmarks/...``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+
+def write_step_summary(
+    gate: str,
+    failures: Sequence[str],
+    ok_note: str = "",
+    path: Optional[str] = None,
+) -> bool:
+    """Append one gate's pass/fail table to the step summary.
+
+    ``failures`` is the gate's collected failure messages (one table row
+    each); an empty list renders a single PASS row carrying ``ok_note``.
+    ``path`` overrides the target file (tests); by default the
+    ``GITHUB_STEP_SUMMARY`` environment variable is honoured and the
+    call is a no-op (returns ``False``) when it is unset.
+    """
+    target = path if path is not None else os.environ.get("GITHUB_STEP_SUMMARY")
+    if not target:
+        return False
+    lines = [f"### {gate}", "", "| status | detail |", "| --- | --- |"]
+    if failures:
+        for failure in failures:
+            detail = str(failure).replace("|", "\\|").replace("\n", " ")
+            lines.append(f"| :x: FAIL | {detail} |")
+    else:
+        note = (ok_note or "all checks within slack").replace("|", "\\|")
+        lines.append(f"| :white_check_mark: PASS | {note} |")
+    with open(target, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n\n")
+    return True

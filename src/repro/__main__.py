@@ -43,6 +43,7 @@ EXPERIMENT_MODULES = {
     "backend": "backend_compare",
     "traffic": "traffic_slo",
     "cluster": "cluster_scaling",
+    "stream": "stream_ingest",
 }
 
 
@@ -290,6 +291,93 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default="results", help="output directory (default: results)"
     )
 
+    stream_p = sub.add_parser(
+        "stream",
+        help="ingest a seeded edge-event stream: windowed snapshot "
+        "publications, standing queries kept continuously warm, "
+        "per-event staleness under obs.stream.*",
+    )
+    stream_p.add_argument(
+        "--dataset", default="AZ", choices=datasets.DATASET_NAMES
+    )
+    stream_p.add_argument("--scale", type=float, default=0.1)
+    stream_p.add_argument("--seed", type=int, default=0)
+    stream_p.add_argument(
+        "--system", default="depgraph-h", choices=runtime.SYSTEM_NAMES
+    )
+    stream_p.add_argument("--cores", type=int, default=4)
+    stream_p.add_argument(
+        "--backend", default="scalar", choices=runtime.BACKEND_NAMES
+    )
+    stream_p.add_argument(
+        "--reorder", default="identity", choices=runtime.ORDERING_NAMES
+    )
+    stream_p.add_argument(
+        "--cadence",
+        default="count",
+        choices=("count", "interval"),
+        help="publication cadence: every N events (count) or every W "
+        "simulated cycles (interval)",
+    )
+    stream_p.add_argument(
+        "--window",
+        type=float,
+        default=8.0,
+        help="window size: events per snapshot (count) or simulated "
+        "cycles per snapshot (interval)",
+    )
+    stream_p.add_argument(
+        "--events",
+        type=_positive_int,
+        default=48,
+        help="total edge events in the stream",
+    )
+    stream_p.add_argument(
+        "--mean-gap",
+        type=float,
+        default=25_000.0,
+        help="mean simulated cycles between events (exponential gaps)",
+    )
+    stream_p.add_argument(
+        "--queries",
+        default=None,
+        help="comma-separated standing-query algorithms (default: "
+        "sssp,pagerank,wcc with their catalog parameters)",
+    )
+    stream_p.add_argument(
+        "--compact-every",
+        type=int,
+        default=2,
+        help="compact the snapshot chain every N publications (0 off)",
+    )
+    stream_p.add_argument(
+        "--keep-last",
+        type=int,
+        default=2,
+        help="versions retained by each compaction",
+    )
+    stream_p.add_argument("--queue-limit", type=int, default=64)
+    stream_p.add_argument("--cache-capacity", type=int, default=32)
+    stream_p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="0 = the embedded single-process service (default); N >= 1 "
+        "= drive an N-worker serving cluster instead",
+    )
+    stream_p.add_argument(
+        "--transport",
+        default="inline",
+        choices=("inline", "process"),
+        help="cluster worker transport when --workers >= 1",
+    )
+    stream_p.add_argument(
+        "--cold-control",
+        action="store_true",
+        help="also replay the stream with warm-start off and caches "
+        "disabled, and report the warm-vs-cold engine cost",
+    )
+
     cluster_p = sub.add_parser(
         "serve",
         help="start the multi-worker serving cluster behind an HTTP/JSON "
@@ -491,6 +579,78 @@ def _run_traffic(args) -> int:
     return 0
 
 
+def _run_stream(args) -> int:
+    """The ``stream`` subcommand: one streaming-ingest run."""
+    from .serve.stream import (
+        DEFAULT_STANDING_QUERIES,
+        StreamConfig,
+        run_stream,
+    )
+    from .serve.traffic import QuerySpec, default_catalog
+
+    queries = DEFAULT_STANDING_QUERIES
+    if args.queries:
+        catalog = {spec.algorithm: spec for spec in default_catalog()}
+        queries = tuple(
+            catalog.get(name.strip(), QuerySpec(name.strip()))
+            for name in args.queries.split(",")
+            if name.strip()
+        )
+    config = StreamConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        system=args.system,
+        cores=args.cores,
+        backend=args.backend,
+        reorder=args.reorder,
+        cadence=args.cadence,
+        window=args.window,
+        events=args.events,
+        mean_gap_cycles=args.mean_gap,
+        queries=queries,
+        compact_every=args.compact_every,
+        keep_last=args.keep_last,
+        queue_limit=args.queue_limit,
+        cache_capacity=args.cache_capacity,
+        workers=args.workers,
+        transport=args.transport,
+    )
+    stats = run_stream(config)
+    print(
+        f"stream {config.cadence}@{config.window:g}: "
+        f"{stats.events} events -> {stats.snapshots} snapshots, "
+        f"{stats.compactions} compactions, "
+        f"{len(stats.refreshes)} standing refreshes"
+    )
+    print(
+        f"  sustained  {stats.updates_per_mcycle:.3f} events/Mcycle over "
+        f"{stats.sim_cycles / 1e6:.2f} Mcycles"
+    )
+    print(
+        f"  staleness  p50 {stats.staleness_quantile(0.50) / 1e3:.0f} kcyc, "
+        f"p95 {stats.staleness_quantile(0.95) / 1e3:.0f} kcyc "
+        f"({len(stats.staleness)} event x query samples)"
+    )
+    print(
+        f"  warm       share {stats.warm_share:.3f}, "
+        f"engine updates {int(stats.engine_updates)}"
+    )
+    print(f"  chain      {stats.chain_sha}")
+    if args.cold_control:
+        cold = run_stream(config, warm=False)
+        ratio = (
+            stats.engine_updates / cold.engine_updates
+            if cold.engine_updates
+            else 0.0
+        )
+        print(
+            f"  cold ctrl  engine updates {int(cold.engine_updates)} "
+            f"(warm/cold = {ratio:.3f})"
+        )
+    return 0
+
+
 def _run_serve(args) -> int:
     """The ``serve`` subcommand: the cluster's HTTP/JSON front door."""
     import asyncio
@@ -556,6 +716,8 @@ def main(argv=None) -> int:
         return _run_serve_bench(args)
     if args.command == "traffic":
         return _run_traffic(args)
+    if args.command == "stream":
+        return _run_stream(args)
     if args.command == "serve":
         return _run_serve(args)
 

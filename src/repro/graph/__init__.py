@@ -4,10 +4,15 @@ and locality-aware vertex reordering."""
 from .csr import CSRGraph
 from .partition import Partition, Partitioning, by_edge_count, by_vertex_count
 from .reorder import ORDERING_NAMES, VertexOrdering, make_ordering
-from . import datasets, generators, io, mutation, properties, reorder
+from .stream import EdgeEvent, LiveEdgeSet, generate_edge_events
+from . import datasets, generators, io, mutation, properties, reorder, stream
 
 __all__ = [
     "CSRGraph",
+    "EdgeEvent",
+    "LiveEdgeSet",
+    "generate_edge_events",
+    "stream",
     "Partition",
     "Partitioning",
     "by_edge_count",

@@ -1,0 +1,189 @@
+"""Seeded, timestamped edge-event streams over a base graph.
+
+The paper's Figure 10 measures incremental recomputation on one-shot
+delta batches; the streaming scenario (ROADMAP) needs the *input side*
+of that story: a sustained, deterministic stream of edge mutations on
+the simulated clock.  :func:`generate_edge_events` produces one — a
+tuple of :class:`EdgeEvent` (add / remove / reweight) with exponential
+inter-arrival gaps, seeded through :mod:`random` so repeat calls with
+one seed are bit-identical.
+
+The generator tracks the live edge set as it goes, so every event is
+*valid by construction* against sequential application: adds name edges
+that do not currently exist, removes and reweights name edges that do.
+That makes the stream replayable through :mod:`repro.graph.mutation`
+(and through :class:`repro.serve.store.GraphStore` delta chains) without
+any error handling in the consumer.
+
+:class:`LiveEdgeSet` is the shared bookkeeping: the generator uses it to
+emit valid events, and the windowing layer in :mod:`repro.serve.stream`
+uses it to fold a window of events into one *net-effect*
+:class:`~repro.serve.store.GraphDelta` whose application reproduces the
+sequential per-event result exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .csr import CSRGraph
+
+Edge = Tuple[int, int]
+
+#: event kinds, in mix order (add, remove, reweight)
+EVENT_KINDS = ("add", "remove", "reweight")
+
+#: attempts to draw a non-existing (add) edge pair before giving up on
+#: the draw and retrying the kind choice
+_ADD_ATTEMPTS = 8
+
+
+@dataclass(frozen=True)
+class EdgeEvent:
+    """One timestamped mutation on the simulated clock."""
+
+    #: arrival instant, in simulated cycles
+    timestamp: float
+    #: ``add`` | ``remove`` | ``reweight``
+    kind: str
+    source: int
+    target: int
+    #: new edge weight (adds and reweights; ignored for removes)
+    weight: float = 1.0
+
+    @property
+    def edge(self) -> Edge:
+        return (self.source, self.target)
+
+
+class LiveEdgeSet:
+    """The current edge set (and weights) under sequential mutation.
+
+    Supports O(1) membership, O(1) uniform sampling (swap-pop list), and
+    deterministic iteration — everything both the event generator and
+    the net-effect delta folding need.
+    """
+
+    def __init__(self, graph: Optional[CSRGraph] = None) -> None:
+        self._edges: List[Edge] = []
+        self._index: Dict[Edge, int] = {}
+        self._weights: Dict[Edge, float] = {}
+        if graph is not None:
+            for source, target, weight in graph.edges():
+                self.add((int(source), int(target)), float(weight))
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, edge: Edge) -> bool:
+        return edge in self._index
+
+    def weight(self, edge: Edge) -> float:
+        return self._weights[edge]
+
+    def get(self, edge: Edge) -> Optional[float]:
+        """The edge's weight, or ``None`` when it is not live."""
+        return self._weights.get(edge)
+
+    def add(self, edge: Edge, weight: float = 1.0) -> None:
+        if edge in self._index:
+            raise ValueError(f"edge {edge} already live")
+        self._index[edge] = len(self._edges)
+        self._edges.append(edge)
+        self._weights[edge] = weight
+
+    def remove(self, edge: Edge) -> None:
+        slot = self._index.pop(edge)
+        last = self._edges.pop()
+        if last != edge:  # swap-pop: keep the list dense
+            self._edges[slot] = last
+            self._index[last] = slot
+        del self._weights[edge]
+
+    def reweight(self, edge: Edge, weight: float) -> None:
+        if edge not in self._index:
+            raise ValueError(f"edge {edge} not live")
+        self._weights[edge] = weight
+
+    def sample(self, rng: random.Random) -> Edge:
+        return self._edges[rng.randrange(len(self._edges))]
+
+    def apply(self, event: EdgeEvent) -> None:
+        """Apply one event sequentially (the reference semantics)."""
+        if event.kind == "add":
+            self.add(event.edge, event.weight)
+        elif event.kind == "remove":
+            self.remove(event.edge)
+        elif event.kind == "reweight":
+            self.reweight(event.edge, event.weight)
+        else:
+            raise ValueError(f"unknown event kind {event.kind!r}")
+
+
+def generate_edge_events(
+    graph: CSRGraph,
+    count: int,
+    seed: int = 0,
+    mean_gap_cycles: float = 20_000.0,
+    mix: Tuple[float, float, float] = (0.7, 0.15, 0.15),
+    start_cycles: float = 0.0,
+) -> Tuple[EdgeEvent, ...]:
+    """A deterministic stream of ``count`` valid edge events.
+
+    ``mix`` weights the (add, remove, reweight) draw; removes and
+    reweights degrade to adds when the live set is empty, and reweights
+    degrade to adds on unweighted graphs (there is no weight to change).
+    Timestamps start at ``start_cycles`` and advance by exponential gaps
+    with mean ``mean_gap_cycles`` — all on the simulated clock; wall
+    time never enters.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if mean_gap_cycles <= 0:
+        raise ValueError("mean_gap_cycles must be positive")
+    if len(mix) != len(EVENT_KINDS) or any(m < 0 for m in mix) or sum(mix) <= 0:
+        raise ValueError("mix must be three non-negative weights, not all zero")
+    rng = random.Random(f"edge-stream/{seed}")
+    live = LiveEdgeSet(graph)
+    n = graph.num_vertices
+    if n < 2:
+        raise ValueError("need at least two vertices to mutate edges")
+    total = float(sum(mix))
+    cut_add = mix[0] / total
+    cut_remove = cut_add + mix[1] / total
+    weighted = graph.is_weighted
+
+    events: List[EdgeEvent] = []
+    t = start_cycles
+    while len(events) < count:
+        t += rng.expovariate(1.0 / mean_gap_cycles)
+        draw = rng.random()
+        if draw < cut_add or len(live) == 0:
+            kind = "add"
+        elif draw < cut_remove:
+            kind = "remove"
+        else:
+            kind = "reweight" if weighted else "add"
+        if kind == "add":
+            edge = None
+            for _ in range(_ADD_ATTEMPTS):
+                candidate = (rng.randrange(n), rng.randrange(n))
+                if candidate[0] != candidate[1] and candidate not in live:
+                    edge = candidate
+                    break
+            if edge is None:
+                # dense corner: fall back to a reweight/remove so the
+                # stream always makes progress deterministically
+                if len(live) == 0:
+                    raise RuntimeError("could not draw any valid event")
+                edge = live.sample(rng)
+                kind = "reweight" if weighted else "remove"
+        elif kind in ("remove", "reweight"):
+            edge = live.sample(rng)
+        weight = round(rng.uniform(0.5, 1.5), 3) if weighted else 1.0
+        event = EdgeEvent(t, kind, edge[0], edge[1], weight)
+        live.apply(event)
+        events.append(event)
+    return tuple(events)

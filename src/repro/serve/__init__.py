@@ -25,6 +25,11 @@ one cold batch run per CLI invocation:
   (:mod:`repro.serve.cluster`): lineage-sharded workers (inline or OS
   processes), rendezvous routing, restart + requeue fault handling,
   ``obs.cluster.*`` metrics aggregated across workers.
+* :class:`StreamRun` / ``python -m repro stream`` — the streaming
+  ingestion driver (:mod:`repro.serve.stream`): seeded edge-event
+  streams folded into windowed snapshot publications, standing queries
+  kept continuously warm, per-event staleness under ``obs.stream.*``,
+  gated in CI by ``benchmarks/check_slo.py --section stream``.
 
 See ``docs/SERVING.md`` for the architecture, warm-start soundness
 rules, and the counter glossary.
@@ -56,6 +61,17 @@ from .service import (
     ServeResponse,
 )
 from .store import GraphDelta, GraphStore, GraphVersion
+from .stream import (
+    STREAM_COUNTER_FAMILY,
+    RefreshRecord,
+    StreamConfig,
+    StreamRun,
+    StreamStats,
+    chain_digest,
+    fold_events,
+    iter_windows,
+    run_stream,
+)
 from .warmstart import WarmStartAlgorithm, WarmStartPlan, plan_warm_start
 
 __all__ = [
@@ -72,14 +88,19 @@ __all__ = [
     "QueryEngine",
     "QueryKey",
     "QuerySpec",
+    "RefreshRecord",
     "ResultCache",
     "RoutingTable",
     "STATUS_OK",
+    "STREAM_COUNTER_FAMILY",
     "STATUS_SHED_DEADLINE",
     "STATUS_SHED_QUEUE",
     "ServeConfig",
     "ServeRequest",
     "ServeResponse",
+    "StreamConfig",
+    "StreamRun",
+    "StreamStats",
     "SweepResult",
     "TrafficConfig",
     "TrafficRun",
@@ -89,10 +110,14 @@ __all__ = [
     "ZipfChooser",
     "build_serve_config",
     "canonical_params",
+    "chain_digest",
     "compare_states",
     "default_catalog",
+    "fold_events",
+    "iter_windows",
     "plan_warm_start",
-    "summarize_states",
     "run_level",
+    "run_stream",
     "run_sweep",
+    "summarize_states",
 ]

@@ -71,6 +71,8 @@ class WorkerConfig:
     cache_capacity: int = 128
     #: shared cross-engine baseline spool (restart/fork warmth)
     baseline_dir: Optional[str] = None
+    #: sum-type drift re-anchor cadence (see ``ServeConfig``)
+    sum_reanchor_every: int = 6
 
     @classmethod
     def from_serve(
@@ -92,6 +94,7 @@ class WorkerConfig:
             backend=serve.backend,
             cache_capacity=serve.cache_capacity,
             baseline_dir=baseline_dir or serve.baseline_dir,
+            sum_reanchor_every=serve.sum_reanchor_every,
         )
 
 
@@ -124,6 +127,7 @@ class WorkerCore:
             max_rounds=config.max_rounds,
             reorder=config.reorder,
             baseline_dir=config.baseline_dir,
+            sum_reanchor_every=config.sum_reanchor_every,
             steal_policy=config.steal_policy,
             backend=config.backend,
         )

@@ -40,6 +40,7 @@ _SHARED_FIELDS = (
     "backend",
     "max_rounds",
     "baseline_dir",
+    "sum_reanchor_every",
 )
 
 

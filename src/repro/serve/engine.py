@@ -36,6 +36,7 @@ from typing import Dict, Iterator, Optional, Tuple
 import numpy as np
 
 from .. import algorithms as algorithms_mod
+from ..algorithms.detect import AccumKind, detect_accum_kind
 from ..graph.csr import CSRGraph
 from ..graph.reorder import VertexOrdering, make_ordering
 from ..hardware.config import HardwareConfig
@@ -46,6 +47,7 @@ from .warmstart import (
     FALLBACK_COMPACTED,
     FALLBACK_NO_BASELINE,
     FALLBACK_OK,
+    FALLBACK_REANCHOR,
     plan_warm_start,
 )
 
@@ -148,6 +150,7 @@ class QueryEngine:
         max_rounds: int = 4000,
         reorder: str = "identity",
         baseline_dir: Optional[str] = None,
+        sum_reanchor_every: int = 6,
         **run_options,
     ) -> None:
         self.store = store
@@ -157,9 +160,13 @@ class QueryEngine:
         self.max_rounds = max_rounds
         self.reorder = reorder
         self.baseline_dir = baseline_dir
+        self.sum_reanchor_every = sum_reanchor_every
         self.run_options = dict(run_options)
         #: (algorithm, params) -> retained converged baseline
         self._baselines: Dict[Tuple[str, ParamsKey], _Baseline] = {}
+        #: (algorithm, params) -> consecutive warm runs since the last
+        #: cold one; drives the sum-type drift re-anchor (see ``execute``)
+        self._warm_streaks: Dict[Tuple[str, ParamsKey], int] = {}
         #: version -> resolved ordering; orderings are a function of the
         #: snapshot topology, so every query lineage on a version shares one
         self._orderings: Dict[int, VertexOrdering] = {}
@@ -198,20 +205,37 @@ class QueryEngine:
             baseline = self._baseline_for(key.lineage())
             if baseline is not None and baseline.version <= resolved:
                 plan = None
-                try:
-                    plan, reason = plan_warm_start(
-                        algo,
-                        self.store.get(baseline.version).graph,
-                        snapshot.graph,
-                        self.store.chain(baseline.version, resolved),
-                        baseline.states,
-                    )
-                except KeyError:
-                    # the baseline predates the store's compaction horizon:
-                    # the delta chain needed to seed from it is gone, so run
-                    # cold and let the converged result replace the baseline
-                    reason = FALLBACK_COMPACTED
-                    self._baselines.pop(key.lineage(), None)
+                if (
+                    self.sum_reanchor_every > 0
+                    and detect_accum_kind(algo) is AccumKind.SUM
+                    and self._warm_streaks.get(key.lineage(), 0)
+                    >= self.sum_reanchor_every
+                ):
+                    # A sum-type warm run converges to within the
+                    # algorithm's epsilon of the fixpoint *starting from
+                    # the previous warm result*, so residual error
+                    # compounds along an unbroken warm chain (min/max
+                    # runs snap to exact values and never drift).  Every
+                    # ``sum_reanchor_every`` consecutive warm runs the
+                    # lineage re-anchors cold, bounding accumulated
+                    # drift well inside ``SUM_STATE_TOLERANCE``.
+                    reason = FALLBACK_REANCHOR
+                else:
+                    try:
+                        plan, reason = plan_warm_start(
+                            algo,
+                            self.store.get(baseline.version).graph,
+                            snapshot.graph,
+                            self.store.chain(baseline.version, resolved),
+                            baseline.states,
+                        )
+                    except KeyError:
+                        # the baseline predates the store's compaction
+                        # horizon: the delta chain needed to seed from it is
+                        # gone, so run cold and let the converged result
+                        # replace the baseline
+                        reason = FALLBACK_COMPACTED
+                        self._baselines.pop(key.lineage(), None)
                 if plan is not None:
                     run_algo = plan.make_algorithm(algo)
                     warm = True
@@ -234,6 +258,9 @@ class QueryEngine:
             **options,
         )
         self.runs += 1
+        self._warm_streaks[key.lineage()] = (
+            self._warm_streaks.get(key.lineage(), 0) + 1 if warm else 0
+        )
         if result.converged:
             states = np.asarray(result.states, dtype=np.float64)
             states.setflags(write=False)

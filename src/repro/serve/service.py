@@ -96,6 +96,12 @@ class ServeConfig:
     #: here and inherited by engines that never ran the lineage (forked
     #: services, restarted cluster workers) — see ``serve.engine``
     baseline_dir: Optional[str] = None
+    #: re-anchor a sum-type lineage cold after this many consecutive warm
+    #: runs: warm sum-type runs are epsilon-fixpoints seeded from the
+    #: previous warm result, so residual error compounds along an
+    #: unbroken warm chain; the periodic cold run bounds the drift well
+    #: inside ``SUM_STATE_TOLERANCE`` (0 disables)
+    sum_reanchor_every: int = 6
 
     def hardware(self) -> HardwareConfig:
         return HardwareConfig.scaled(num_cores=self.cores)
@@ -167,6 +173,7 @@ class GraphService:
             max_rounds=self.config.max_rounds,
             reorder=self.config.reorder,
             baseline_dir=self.config.baseline_dir,
+            sum_reanchor_every=self.config.sum_reanchor_every,
             steal_policy=self.config.steal_policy,
             backend=self.config.backend,
         )

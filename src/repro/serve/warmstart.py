@@ -52,6 +52,7 @@ FALLBACK_REMOVAL = "non-monotone-removal"
 FALLBACK_REWEIGHT = "non-monotone-reweight"
 FALLBACK_NO_BASELINE = "no-baseline"
 FALLBACK_COMPACTED = "compacted-baseline"
+FALLBACK_REANCHOR = "sum-reanchor"
 
 
 @dataclass

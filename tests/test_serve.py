@@ -31,6 +31,7 @@ from repro.serve import (
 )
 from repro.serve.warmstart import (
     FALLBACK_NO_BASELINE,
+    FALLBACK_REANCHOR,
     FALLBACK_REMOVAL,
     FALLBACK_UNSUPPORTED,
     FALLBACK_UNTRANSFORMABLE,
@@ -271,6 +272,35 @@ class TestWarmStart:
         assert not run.warm
         assert run.fallback_reason == FALLBACK_NO_BASELINE
         assert engine.baseline_version("pagerank") == 0
+
+    def test_sum_type_reanchors_after_streak(self):
+        # pagerank drifts along an unbroken warm chain (each warm run is
+        # an epsilon-fixpoint seeded from the previous warm result), so
+        # after `sum_reanchor_every` consecutive warm runs the lineage
+        # must re-anchor cold, then resume warm-starting from the fresh
+        # baseline
+        store = GraphStore(bench_graph())
+        engine = make_engine(store, sum_reanchor_every=3)
+        engine.execute("pagerank")  # cold: no baseline
+        outcomes = []
+        for step in range(5):
+            store.apply(
+                GraphDelta(add_edges=[(step, step + 50)], add_weights=(1.0,))
+            )
+            outcomes.append(engine.execute("pagerank"))
+        assert [run.warm for run in outcomes] == [True, True, True, False, True]
+        assert outcomes[3].fallback_reason == FALLBACK_REANCHOR
+
+    def test_min_type_never_reanchors(self):
+        store = GraphStore(bench_graph())
+        engine = make_engine(store, sum_reanchor_every=2)
+        engine.execute("sssp")
+        for step in range(4):
+            store.apply(
+                GraphDelta(add_edges=[(step, step + 50)], add_weights=(0.5,))
+            )
+            run = engine.execute("sssp")
+            assert run.warm, f"min-type run {step} should stay warm"
 
     def test_force_cold_and_drop_baselines(self):
         store = GraphStore(bench_graph())
