@@ -56,6 +56,26 @@ Regenerate with::
     PYTHONPATH=src python -m repro experiment stream \
         && python benchmarks/check_slo.py --section stream --update
 
+``--section scale`` gates the memory-frugality sweep
+(``results/scale_sweep.metrics.json``, written by
+``python -m repro experiment scale``) against the ``"scale"`` section:
+the sweep's own bit-identity checks must hold (narrowed/mmap'd states
+and simulated cycles equal to the int64 in-RAM control), dtype
+narrowing must actually engage (narrow graph bytes well below the
+int64 footprint at every level), the streamed build's peak RSS must
+stay within the per-level budget *and* stay flat across the sweep
+(largest level within a small factor of the smallest — the external
+build's defining property, checked sweep-internally so it holds on any
+machine), and per-level vector cycles must not grow beyond the usual
+slack.  CI replays a *reduced* sweep (the env knobs documented in the
+``scale-smoke`` job); the baseline config pins that reduced shape, so
+regenerate with the same knobs::
+
+    REPRO_SCALE_BASE_N=256 REPRO_SCALE_LEVELS=2,8 \
+    REPRO_SCALE_SCALAR_CAP=2 REPRO_CORES=8 \
+    PYTHONPATH=src python -m repro experiment scale \
+        && python benchmarks/check_slo.py --section scale --update
+
 When ``GITHUB_STEP_SUMMARY`` is set (GitHub Actions), every verdict is
 also appended there as a markdown pass/fail table (see
 ``gate_summary.py``).
@@ -79,11 +99,13 @@ BASELINES = Path(__file__).resolve().parent / "baselines.json"
 METRICS = Path("results/traffic_slo.metrics.json")
 CLUSTER_METRICS = Path("results/cluster_scaling.metrics.json")
 STREAM_METRICS = Path("results/stream_ingest.metrics.json")
+SCALE_METRICS = Path("results/scale_sweep.metrics.json")
 
 #: the baselines.json keys this gate owns (check_baselines.py owns "runs")
 SECTION = "traffic"
 CLUSTER_SECTION = "cluster"
 STREAM_SECTION = "stream"
+SCALE_SECTION = "scale"
 
 P95 = "obs.traffic.latency_p95_cycles"
 MEAN = "obs.traffic.latency_cycles.mean"
@@ -153,16 +175,56 @@ STREAM_CONFIG_KEYS = (
     "cadence_levels",
 )
 
+#: allowed relative growth of a level's build peak RSS over its baseline
+RSS_GROWTH_SLACK = 0.50
+#: absolute peak-RSS slack in KiB — interpreter/numpy baselines differ
+#: across machines by tens of MB, and ru_maxrss counts them
+RSS_ABS_SLACK_KB = 49_152.0
+#: sweep-internal flatness budget: the largest level's build peak RSS
+#: must stay within this factor of the smallest level's (plus the
+#: absolute slack) — the external build's defining property
+RSS_FLAT_FACTOR = 1.6
+#: narrowed graph bytes must stay at or below this fraction of the
+#: int64 footprint (int32 indices are exactly half; slack for weights)
+NARROW_RATIO_CAP = 0.75
+#: allowed relative growth of a level's vector-backend cycles
+CYCLES_GROWTH_SLACK = 0.25
+
+#: config keys that define the scale-sweep identity (see
+#: ``ScaleConfig.gate_config``)
+SCALE_CONFIG_KEYS = (
+    "base_vertices",
+    "avg_degree",
+    "alpha",
+    "levels",
+    "scalar_cap",
+    "cores",
+    "seed",
+    "algorithm",
+    "system",
+)
+
+#: the env knobs the scale-smoke CI job runs under (documented here so
+#: --update hints and the workflow stay in one place)
+SCALE_SMOKE_ENV = (
+    "REPRO_SCALE_BASE_N=256 REPRO_SCALE_LEVELS=2,8 "
+    "REPRO_SCALE_SCALAR_CAP=2 REPRO_CORES=8"
+)
+
 #: gate name (for the step summary) and regenerate hint per section
 _GATE_NAMES = {
     SECTION: "SLO gate (traffic)",
     CLUSTER_SECTION: "SLO gate (cluster)",
     STREAM_SECTION: "SLO gate (stream)",
+    SCALE_SECTION: "SLO gate (scale)",
 }
 _REGEN_HINTS = {
     SECTION: "PYTHONPATH=src python -m repro traffic",
     CLUSTER_SECTION: "PYTHONPATH=src python -m repro experiment cluster",
     STREAM_SECTION: "PYTHONPATH=src python -m repro experiment stream",
+    SCALE_SECTION: (
+        f"{SCALE_SMOKE_ENV} PYTHONPATH=src python -m repro experiment scale"
+    ),
 }
 
 
@@ -543,6 +605,132 @@ def _stream_check(payload: dict, config: dict, baselines_path: Path) -> int:
     )
 
 
+# ----------------------------------------------------------------------
+# Scale section.
+# ----------------------------------------------------------------------
+def _load_scale_metrics(path: Path):
+    payload = _read_json(path, "metrics file")
+    _require(payload, "levels", path, SCALE_SECTION)
+    sweep_config = payload.get("config", {})
+    config = {key: sweep_config.get(key) for key in SCALE_CONFIG_KEYS}
+    return payload, config
+
+
+def _scale_level_stats(level: dict) -> dict:
+    build = level["build"]["counters"]
+    vector = level["backends"]["vector"]
+    return {
+        "build_peak_rss_kb": build["obs.mem.peak_rss_kb"],
+        "graph_bytes": build["obs.mem.graph_bytes"],
+        "graph_bytes_int64": build["obs.mem.graph_bytes_int64"],
+        "index_dtype": level["index_dtype"],
+        "vector_cycles": vector["cycles"],
+    }
+
+
+def _scale_update(payload: dict, config: dict, baselines_path: Path) -> int:
+    baselines = {}
+    if baselines_path.exists():
+        baselines = json.loads(baselines_path.read_text(encoding="utf-8"))
+    baselines[SCALE_SECTION] = {
+        "config": config,
+        "regenerate": (
+            f"{SCALE_SMOKE_ENV} PYTHONPATH=src python -m repro experiment "
+            "scale && python benchmarks/check_slo.py --section scale "
+            "--update"
+        ),
+        "levels": {
+            label: _scale_level_stats(level)
+            for label, level in sorted(payload["levels"].items())
+        },
+    }
+    baselines_path.write_text(
+        json.dumps(baselines, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(
+        f"wrote {baselines_path} [{SCALE_SECTION}] "
+        f"({len(payload['levels'])} levels)"
+    )
+    return 0
+
+
+def _scale_check(payload: dict, config: dict, baselines_path: Path) -> int:
+    section = _load_section(baselines_path, SCALE_SECTION)
+    failures = _config_failures(section, config, SCALE_CONFIG_KEYS, SCALE_SECTION)
+    if failures:
+        return _finish(SCALE_SECTION, failures, "")
+
+    # structural: the sweep's own bit-identity checks must hold
+    if not payload.get("state_match"):
+        failures.append(
+            f"narrowed/mmap'd states diverged from the int64 in-RAM "
+            f"control at {payload.get('match_level')}"
+        )
+    if not payload.get("cycles_match"):
+        failures.append(
+            "simulated cycles changed with the host storage width at "
+            f"{payload.get('match_level')} (modelled layout must keep "
+            "fixed strides)"
+        )
+
+    build_rss = {}
+    for label, base in section["levels"].items():
+        level = payload["levels"].get(label)
+        if level is None:
+            failures.append(f"{label}: level missing from the sweep")
+            continue
+        stats = _scale_level_stats(level)
+        build_rss[label] = stats["build_peak_rss_kb"]
+        budget = (
+            base["build_peak_rss_kb"] * (1.0 + RSS_GROWTH_SLACK)
+            + RSS_ABS_SLACK_KB
+        )
+        if stats["build_peak_rss_kb"] > budget:
+            failures.append(
+                f"{label}: build peak RSS {base['build_peak_rss_kb']:.0f} "
+                f"-> {stats['build_peak_rss_kb']:.0f} KiB (over the "
+                f"{RSS_GROWTH_SLACK:.0%} + {RSS_ABS_SLACK_KB:.0f} KiB "
+                "budget — is the build still streaming?)"
+            )
+        # structural: dtype narrowing must actually engage
+        cap = stats["graph_bytes_int64"] * NARROW_RATIO_CAP
+        if stats["graph_bytes"] > cap:
+            failures.append(
+                f"{label}: narrowed graph is {stats['graph_bytes']:.0f} "
+                f"bytes vs {stats['graph_bytes_int64']:.0f} at int64 — "
+                f"above the {NARROW_RATIO_CAP:.0%} cap, narrowing did "
+                "not engage"
+            )
+        allowed_cycles = base["vector_cycles"] * (1.0 + CYCLES_GROWTH_SLACK)
+        if stats["vector_cycles"] > allowed_cycles:
+            failures.append(
+                f"{label}: vector cycles {base['vector_cycles']:.0f} -> "
+                f"{stats['vector_cycles']:.0f} (grew more than "
+                f"{CYCLES_GROWTH_SLACK:.0%})"
+            )
+    # sweep-internal flatness: machine-independent streaming evidence
+    if len(build_rss) >= 2:
+        smallest = min(build_rss.values())
+        largest = max(build_rss.values())
+        flat_cap = smallest * RSS_FLAT_FACTOR + RSS_ABS_SLACK_KB
+        if largest > flat_cap:
+            failures.append(
+                f"build peak RSS not flat across the sweep: "
+                f"{smallest:.0f} KiB at the smallest level vs "
+                f"{largest:.0f} KiB at the largest (cap "
+                f"{RSS_FLAT_FACTOR:.1f}x + {RSS_ABS_SLACK_KB:.0f} KiB)"
+            )
+    return _finish(
+        SCALE_SECTION,
+        failures,
+        f"scale gate OK: {len(section['levels'])} levels within the "
+        f"peak-RSS budget and flat across the sweep, narrowing engaged "
+        f"(< {NARROW_RATIO_CAP:.0%} of int64 bytes), states and cycles "
+        "bit-identical across width/mmap",
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -553,7 +741,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--section",
-        choices=(SECTION, CLUSTER_SECTION, STREAM_SECTION),
+        choices=(SECTION, CLUSTER_SECTION, STREAM_SECTION, SCALE_SECTION),
         default=SECTION,
         help="baselines.json section to gate (default: %(default)s)",
     )
@@ -562,8 +750,8 @@ def main(argv=None) -> int:
         type=Path,
         default=None,
         help=f"sweep metrics.json to gate on (default: {METRICS}, "
-        f"{CLUSTER_METRICS} for --section cluster, or {STREAM_METRICS} "
-        "for --section stream)",
+        f"{CLUSTER_METRICS} for --section cluster, {STREAM_METRICS} "
+        f"for --section stream, or {SCALE_METRICS} for --section scale)",
     )
     parser.add_argument(
         "--baselines",
@@ -581,6 +769,14 @@ def main(argv=None) -> int:
             if args.update:
                 return _cluster_update(payload, config, args.baselines)
             return _cluster_check(payload, config, args.baselines)
+        if args.section == SCALE_SECTION:
+            metrics = args.metrics or SCALE_METRICS
+            payload, config = _load_scale_metrics(metrics)
+            if not payload.get("levels"):
+                raise GateError(f"{metrics} recorded no levels")
+            if args.update:
+                return _scale_update(payload, config, args.baselines)
+            return _scale_check(payload, config, args.baselines)
         if args.section == STREAM_SECTION:
             metrics = args.metrics or STREAM_METRICS
             payload, config = _load_stream_metrics(metrics)

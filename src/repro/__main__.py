@@ -44,6 +44,7 @@ EXPERIMENT_MODULES = {
     "traffic": "traffic_slo",
     "cluster": "cluster_scaling",
     "stream": "stream_ingest",
+    "scale": "scale_sweep",
 }
 
 

@@ -83,7 +83,13 @@ def dataset_names() -> Tuple[str, ...]:
     return DATASET_NAMES
 
 
-def load(name: str, scale: float = 1.0, weighted: bool = True) -> CSRGraph:
+def load(
+    name: str,
+    scale: float = 1.0,
+    weighted: bool = True,
+    index_dtype=None,
+    weight_dtype=None,
+) -> CSRGraph:
     """Build the stand-in graph for dataset ``name``.
 
     Parameters
@@ -95,6 +101,11 @@ def load(name: str, scale: float = 1.0, weighted: bool = True) -> CSRGraph:
         ``scale < 1`` in unit tests and ``scale >= 1`` in benchmarks.
     weighted:
         attach uniform-random edge weights (needed by SSSP/SSWP).
+    index_dtype / weight_dtype:
+        storage widths per the :class:`CSRGraph` dtype contract
+        (``index_dtype="auto"`` narrows; ``None`` keeps legacy
+        ``int64``/``float64``).  Narrowing relabels nothing — vertex
+        ids and edge order are identical at every width.
     """
     try:
         recipe = _RECIPES[name]
@@ -110,11 +121,30 @@ def load(name: str, scale: float = 1.0, weighted: bool = True) -> CSRGraph:
         n, m, alpha=recipe.alpha, seed=recipe.seed, weighted=weighted
     )
     # Thread a spanning backbone so traversal algorithms reach everything.
-    return ensure_reachable(
+    graph = ensure_reachable(
         graph, root=0, seed=recipe.seed, ordered=recipe.ordered_backbone
     )
+    if index_dtype is not None or weight_dtype is not None:
+        graph = graph.astype(
+            index_dtype=index_dtype, weight_dtype=weight_dtype
+        )
+    return graph
 
 
-def load_suite(scale: float = 1.0, weighted: bool = True) -> Dict[str, CSRGraph]:
+def load_suite(
+    scale: float = 1.0,
+    weighted: bool = True,
+    index_dtype=None,
+    weight_dtype=None,
+) -> Dict[str, CSRGraph]:
     """All six stand-ins keyed by dataset name, in paper order."""
-    return {name: load(name, scale, weighted) for name in DATASET_NAMES}
+    return {
+        name: load(
+            name,
+            scale,
+            weighted,
+            index_dtype=index_dtype,
+            weight_dtype=weight_dtype,
+        )
+        for name in DATASET_NAMES
+    }

@@ -1,15 +1,27 @@
-"""Graph file I/O: SNAP-style edge lists and a compact binary CSR format.
+"""Graph file I/O: SNAP-style edge lists and binary CSR formats.
 
 The paper's datasets come from the SNAP collection, which distributes plain
 edge-list text files (``# comment`` lines, then one ``src dst [weight]`` pair
 per line).  ``load_edge_list``/``save_edge_list`` speak that format so users
-can run the real datasets through this library; ``save_csr``/``load_csr``
-provide a fast binary round-trip (a .npz with the three CSR arrays) for
-preprocessed graphs.
+can run the real datasets through this library.  Two binary round-trips
+exist for preprocessed graphs:
+
+* ``save_csr``/``load_csr`` — the legacy monolithic ``.npz`` (kept for
+  backward compatibility with stores persisted before the manifest-dir
+  format existed);
+* ``save_csr_dir``/``load_csr_dir`` — the versioned on-disk layout: one
+  raw ``.npy`` file per CSR array under a directory, described by a
+  ``csr_manifest.json``.  Raw ``.npy`` files (unlike members of a
+  compressed ``.npz``) can be opened with ``mmap_mode="r"``, so a run
+  touches only the pages it actually reads — this is what lets the
+  10–100x scale levels run under a flat RSS budget.  The manifest is
+  published atomically (tmp file + ``os.replace``) after the arrays, so
+  a directory with a manifest is always complete.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Optional, Union
 
@@ -18,6 +30,11 @@ import numpy as np
 from .csr import CSRGraph
 
 PathLike = Union[str, "os.PathLike[str]"]
+
+#: on-disk manifest-dir format version (bump on layout changes)
+CSR_DIR_FORMAT = 1
+#: manifest file name inside a CSR directory
+CSR_MANIFEST = "csr_manifest.json"
 
 
 def load_edge_list(
@@ -101,6 +118,94 @@ def load_csr(path: PathLike) -> CSRGraph:
     with np.load(path) as data:
         weights = data["weights"] if "weights" in data.files else None
         return CSRGraph(data["offsets"], data["targets"], weights)
+
+
+def is_csr_dir(path: PathLike) -> bool:
+    """True when ``path`` is a manifest-dir CSR snapshot."""
+    return os.path.isfile(os.path.join(os.fspath(path), CSR_MANIFEST))
+
+
+def write_csr_manifest(
+    path: PathLike,
+    num_vertices: int,
+    num_edges: int,
+    index_dtype: np.dtype,
+    weight_dtype: Optional[np.dtype],
+) -> None:
+    """Atomically publish a ``csr_manifest.json`` describing arrays that
+    are already on disk (used both by :func:`save_csr_dir` and by the
+    external-memory builder in :mod:`repro.graph.external`, which writes
+    its arrays directly via ``open_memmap``)."""
+    path = os.fspath(path)
+    arrays = ["offsets", "targets"] + (
+        ["weights"] if weight_dtype is not None else []
+    )
+    manifest = {
+        "format": CSR_DIR_FORMAT,
+        "num_vertices": int(num_vertices),
+        "num_edges": int(num_edges),
+        "index_dtype": str(np.dtype(index_dtype)),
+        "weight_dtype": (
+            None if weight_dtype is None else str(np.dtype(weight_dtype))
+        ),
+        "arrays": sorted(arrays),
+    }
+    tmp = os.path.join(path, CSR_MANIFEST + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, os.path.join(path, CSR_MANIFEST))
+
+
+def save_csr_dir(graph: CSRGraph, path: PathLike) -> None:
+    """Write the versioned manifest-dir CSR snapshot.
+
+    Arrays land as raw ``.npy`` files (mmap-openable); the manifest is
+    written last and published atomically, so readers never observe a
+    manifest pointing at half-written arrays.
+    """
+    path = os.fspath(path)
+    os.makedirs(path, exist_ok=True)
+    arrays = {"offsets": graph.offsets, "targets": graph.targets}
+    if graph.weights is not None:
+        arrays["weights"] = graph.weights
+    for name, array in arrays.items():
+        np.save(os.path.join(path, f"{name}.npy"), array)
+    write_csr_manifest(
+        path,
+        graph.num_vertices,
+        graph.num_edges,
+        graph.index_dtype,
+        graph.weight_dtype,
+    )
+
+
+def load_csr_dir(path: PathLike, mmap: bool = False) -> CSRGraph:
+    """Load a manifest-dir CSR snapshot written by :func:`save_csr_dir`.
+
+    With ``mmap=True`` the arrays are opened read-only via
+    ``mmap_mode="r"`` and the structural validation scans are skipped
+    (we wrote the manifest ourselves; scanning would page the whole
+    graph into RAM and defeat the point of mapping it).
+    """
+    path = os.fspath(path)
+    with open(os.path.join(path, CSR_MANIFEST), "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    fmt = manifest.get("format")
+    if fmt != CSR_DIR_FORMAT:
+        raise ValueError(f"unsupported CSR dir format {fmt!r} at {path}")
+    mmap_mode = "r" if mmap else None
+    def _read(name: str) -> np.ndarray:
+        return np.load(os.path.join(path, f"{name}.npy"), mmap_mode=mmap_mode)
+    weights = _read("weights") if "weights" in manifest["arrays"] else None
+    graph = CSRGraph(
+        _read("offsets"), _read("targets"), weights, validate=not mmap
+    )
+    if graph.num_vertices != manifest["num_vertices"] or (
+        graph.num_edges != manifest["num_edges"]
+    ):
+        raise ValueError(f"CSR dir at {path} does not match its manifest")
+    return graph
 
 
 def from_string(text: str, **kwargs) -> CSRGraph:

@@ -12,7 +12,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .csr import CSRGraph
+from .csr import CSRGraph, narrow_index_dtype
 
 Edge = Tuple[int, int]
 
@@ -22,6 +22,15 @@ def _edge_arrays(graph: CSRGraph) -> Tuple[np.ndarray, np.ndarray]:
         np.arange(graph.num_vertices, dtype=np.int64), graph.out_degrees()
     )
     return sources, graph.targets
+
+
+def _result_index_dtype(graph: CSRGraph, n: int, m: int) -> np.dtype:
+    """Keep the input graph's index width when the mutated sizes still
+    fit; widen to the narrowest fitting dtype when a delta outgrows it
+    (a mutation must never fail just because the base was narrowed)."""
+    if max(int(n), int(m)) <= np.iinfo(graph.index_dtype).max:
+        return graph.index_dtype
+    return narrow_index_dtype(n, m)
 
 
 def add_edges(
@@ -59,7 +68,12 @@ def add_edges(
     _, idx = np.unique(key, return_index=True)
     idx.sort()
     return CSRGraph.from_arrays(
-        n, all_src[idx], all_dst[idx], None if all_w is None else all_w[idx]
+        n,
+        all_src[idx],
+        all_dst[idx],
+        None if all_w is None else all_w[idx],
+        index_dtype=_result_index_dtype(graph, n, idx.size),
+        weight_dtype=graph.weight_dtype,
     )
 
 
@@ -73,7 +87,16 @@ def remove_edges(graph: CSRGraph, edges: Iterable[Edge]) -> CSRGraph:
         [(int(s), int(t)) not in doomed for s, t in zip(src, dst)], dtype=bool
     )
     weights = graph.weights[keep] if graph.is_weighted else None
-    return CSRGraph.from_arrays(graph.num_vertices, src[keep], dst[keep], weights)
+    n = graph.num_vertices
+    kept = int(np.count_nonzero(keep))
+    return CSRGraph.from_arrays(
+        n,
+        src[keep],
+        dst[keep],
+        weights,
+        index_dtype=_result_index_dtype(graph, n, kept),
+        weight_dtype=graph.weight_dtype,
+    )
 
 
 def add_vertices(graph: CSRGraph, count: int) -> CSRGraph:
@@ -82,10 +105,21 @@ def add_vertices(graph: CSRGraph, count: int) -> CSRGraph:
         raise ValueError("count must be non-negative")
     if count == 0:
         return graph
-    offsets = np.concatenate(
-        [graph.offsets, np.full(count, graph.num_edges, dtype=np.int64)]
+    idx_dtype = _result_index_dtype(
+        graph, graph.num_vertices + count, graph.num_edges
     )
-    return CSRGraph(offsets, graph.targets.copy(), None if graph.weights is None else graph.weights.copy())
+    offsets = np.concatenate(
+        [
+            graph.offsets.astype(idx_dtype, copy=False),
+            np.full(count, graph.num_edges, dtype=idx_dtype),
+        ]
+    )
+    return CSRGraph(
+        offsets,
+        graph.targets.astype(idx_dtype),
+        None if graph.weights is None else graph.weights.copy(),
+        index_dtype=idx_dtype,
+    )
 
 
 def reweight_edge(graph: CSRGraph, source: int, target: int, weight: float) -> CSRGraph:

@@ -229,9 +229,17 @@ class VectorEngine:
         # edges the run actually scatters over.
         g = ctx.graph
         self.n = g.num_vertices
-        self.offsets = g.offsets
+        # vertex-sized arrays are held as int64 regardless of the
+        # graph's storage width: offsets feed byte-address arithmetic
+        # (stride * offset overflows int32) and the gather's
+        # ``starts - cumsum`` goes transiently negative (uint32 would
+        # wrap).  They are O(|V|) — cheap.  The edge-sized ``targets``
+        # stays at the graph's (possibly narrow, possibly mmap'd) dtype:
+        # it is only ever used as fancy-index input, which is
+        # width-safe, and it is the array narrowing exists to shrink.
+        self.offsets = np.asarray(g.offsets, dtype=np.int64)
         self.targets = g.targets
-        self.degrees = np.diff(g.offsets)
+        self.degrees = np.diff(self.offsets)
         self.owner = np.asarray(ctx._owner, dtype=np.int64)
         self.kind = ctx.accum_kind
         inner = unwrap_algorithm(ctx.algorithm)
@@ -241,34 +249,62 @@ class VectorEngine:
 
     # ------------------------------------------------------------------
     def _build_edge_program(self, graph, algorithm: Algorithm) -> None:
-        """Probe ``edge_linear`` once per edge into (mu, xi, cap) arrays.
+        """Probe ``edge_linear`` into per-edge (mu, xi, cap) arrays.
 
-        This is the set-up cost that buys ufunc-only rounds: m Python
-        calls total instead of one ``edge_compute`` call per edge per
-        round.  The reorder wrapper's ``edge_linear`` translates ids, so
-        probing through the (possibly wrapped) algorithm keeps permuted
-        runs exact.
+        This is the set-up cost that buys ufunc-only rounds: Python
+        calls at set-up instead of one ``edge_compute`` call per edge
+        per round.  The reorder wrapper's ``edge_linear`` translates
+        ids, so probing through the (possibly wrapped) algorithm keeps
+        permuted runs exact.
+
+        Unweighted graphs take a per-*source* fast path: every out-edge
+        of ``v`` shares the probe arguments ``(v, 1.0)``, so one call
+        per non-isolated source plus an ``np.repeat`` produces exactly
+        the arrays the per-edge loop would — n calls instead of m,
+        which is what makes set-up tractable at the 10–100x scale
+        levels.  Weighted graphs keep the per-edge loop (mu/xi may
+        depend on the weight arbitrarily).
         """
         m = graph.num_edges
-        mu = np.empty(m, dtype=np.float64)
-        xi = np.empty(m, dtype=np.float64)
-        cap = np.empty(m, dtype=np.float64)
-        weights = graph.weights
         edge_linear = algorithm.edge_linear
-        for v in range(graph.num_vertices):
-            begin, end = graph.edge_range(v)
-            for e in range(begin, end):
-                w = float(weights[e]) if weights is not None else 1.0
-                func = edge_linear(v, w, graph)
+        if graph.weights is None:
+            degrees = self.degrees
+            sources = np.nonzero(degrees)[0]
+            mu_s = np.empty(sources.size, dtype=np.float64)
+            xi_s = np.empty(sources.size, dtype=np.float64)
+            cap_s = np.empty(sources.size, dtype=np.float64)
+            for i, v in enumerate(sources):
+                func = edge_linear(int(v), 1.0, graph)
                 if func is None:
                     raise VectorBackendError(
                         f"backend='vector' cannot run {algorithm.name!r}: "
-                        f"edge_linear returned None for edge {v}->"
-                        f"{int(graph.targets[e])}"
+                        f"edge_linear returned None for source {int(v)}"
                     )
-                mu[e] = func.mu
-                xi[e] = func.xi
-                cap[e] = func.cap
+                mu_s[i] = func.mu
+                xi_s[i] = func.xi
+                cap_s[i] = func.cap
+            counts = degrees[sources]
+            mu = np.repeat(mu_s, counts)
+            xi = np.repeat(xi_s, counts)
+            cap = np.repeat(cap_s, counts)
+        else:
+            mu = np.empty(m, dtype=np.float64)
+            xi = np.empty(m, dtype=np.float64)
+            cap = np.empty(m, dtype=np.float64)
+            weights = graph.weights
+            for v in range(graph.num_vertices):
+                begin, end = graph.edge_range(v)
+                for e in range(begin, end):
+                    func = edge_linear(v, float(weights[e]), graph)
+                    if func is None:
+                        raise VectorBackendError(
+                            f"backend='vector' cannot run "
+                            f"{algorithm.name!r}: edge_linear returned "
+                            f"None for edge {v}->{int(graph.targets[e])}"
+                        )
+                    mu[e] = func.mu
+                    xi[e] = func.xi
+                    cap[e] = func.cap
         self.edge_mu = mu
         self.edge_xi = xi
         self.edge_cap = cap

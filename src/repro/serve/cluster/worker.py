@@ -73,6 +73,8 @@ class WorkerConfig:
     baseline_dir: Optional[str] = None
     #: sum-type drift re-anchor cadence (see ``ServeConfig``)
     sum_reanchor_every: int = 6
+    #: open the replica's base snapshot mmap'd (see ``GraphStore.load``)
+    mmap: bool = False
 
     @classmethod
     def from_serve(
@@ -95,6 +97,7 @@ class WorkerConfig:
             cache_capacity=serve.cache_capacity,
             baseline_dir=baseline_dir or serve.baseline_dir,
             sum_reanchor_every=serve.sum_reanchor_every,
+            mmap=serve.mmap_store,
         )
 
 
@@ -117,7 +120,7 @@ class WorkerCore:
                 raise ValueError(
                     "WorkerCore needs a shared store or a store_dir"
                 )
-            store = GraphStore.load(config.store_dir)
+            store = GraphStore.load(config.store_dir, mmap=config.mmap)
         self.store = store
         self.engine = QueryEngine(
             store,

@@ -41,6 +41,7 @@ _SHARED_FIELDS = (
     "max_rounds",
     "baseline_dir",
     "sum_reanchor_every",
+    "mmap_store",
 )
 
 

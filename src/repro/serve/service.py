@@ -102,6 +102,11 @@ class ServeConfig:
     #: unbroken warm chain; the periodic cold run bounds the drift well
     #: inside ``SUM_STATE_TOLERANCE`` (0 disables)
     sum_reanchor_every: int = 6
+    #: process workers open their replica's base snapshot with
+    #: ``mmap_mode="r"`` instead of materialising it in RAM — pages
+    #: fault in on first touch, so many workers on one host share the
+    #: page cache for a large base graph (see ``GraphStore.load``)
+    mmap_store: bool = False
 
     def hardware(self) -> HardwareConfig:
         return HardwareConfig.scaled(num_cores=self.cores)

@@ -36,8 +36,14 @@ from ..graph import io as graph_io
 from ..graph import mutation
 from ..graph.csr import CSRGraph
 
-#: manifest schema version for the persisted store layout
-STORE_FORMAT = 1
+#: manifest schema version for the persisted store layout.
+#: Format 2 stores the base snapshot as a mmap-openable manifest dir
+#: (``base/`` via :func:`repro.graph.io.save_csr_dir`); format 1 — the
+#: legacy monolithic ``base.npz`` — is still loadable (in-RAM only:
+#: compressed npz members cannot be memory-mapped).
+STORE_FORMAT = 2
+_LEGACY_FORMAT = 1
+_BASE_DIR = "base"
 _BASE_FILE = "base.npz"
 _MANIFEST_FILE = "manifest.json"
 
@@ -301,17 +307,18 @@ class GraphStore:
     def save(self, path) -> None:
         """Persist the whole version chain into directory ``path``.
 
-        Layout: ``base.npz`` (the version-0 CSR, via
-        :func:`repro.graph.io.save_csr`) and ``manifest.json`` (format tag
-        plus the ordered delta chain).  Intermediate snapshots are not
-        stored — :meth:`load` re-materialises them by replaying the chain,
-        which is deterministic, so the restored store is version-for-version
+        Layout: ``base/`` (the base-version CSR as a mmap-openable
+        manifest dir via :func:`repro.graph.io.save_csr_dir`) and
+        ``manifest.json`` (format tag plus the ordered delta chain).
+        Intermediate snapshots are not stored — :meth:`load`
+        re-materialises them by replaying the chain, which is
+        deterministic, so the restored store is version-for-version
         identical at a fraction of the footprint.
         """
         with self._lock:
             versions = list(self._versions)
         os.makedirs(path, exist_ok=True)
-        graph_io.save_csr(versions[0].graph, os.path.join(path, _BASE_FILE))
+        graph_io.save_csr_dir(versions[0].graph, os.path.join(path, _BASE_DIR))
         manifest = {
             "format": STORE_FORMAT,
             "base_version": versions[0].version,
@@ -327,17 +334,30 @@ class GraphStore:
         os.replace(tmp_path, manifest_path)
 
     @classmethod
-    def load(cls, path) -> "GraphStore":
-        """Restore a store persisted by :meth:`save` (replays the chain)."""
+    def load(cls, path, mmap: bool = False) -> "GraphStore":
+        """Restore a store persisted by :meth:`save` (replays the chain).
+
+        With ``mmap=True`` the base snapshot's arrays stay disk-resident
+        (pages fault in on first touch).  Versions materialised by delta
+        replay are in-RAM regardless — mutation builds new arrays — so
+        mapping pays off for the dominant case of a big base plus a
+        short delta chain.  Legacy format-1 stores (``base.npz``) load
+        in-RAM; compressed npz members cannot be mapped.
+        """
         manifest_path = os.path.join(path, _MANIFEST_FILE)
         with open(manifest_path, "r", encoding="utf-8") as handle:
             manifest = json.load(handle)
         fmt = manifest.get("format")
-        if fmt != STORE_FORMAT:
+        if fmt == STORE_FORMAT:
+            base = graph_io.load_csr_dir(
+                os.path.join(path, _BASE_DIR), mmap=mmap
+            )
+        elif fmt == _LEGACY_FORMAT:
+            base = graph_io.load_csr(os.path.join(path, _BASE_FILE))
+        else:
             raise ValueError(
                 f"unsupported graph store format {fmt!r} in {manifest_path}"
             )
-        base = graph_io.load_csr(os.path.join(path, _BASE_FILE))
         store = cls(base, base_version=int(manifest.get("base_version", 0)))
         for data in manifest.get("deltas", ()):
             store.apply(GraphDelta.from_dict(data))

@@ -1,0 +1,260 @@
+"""The memory-frugal substrate: dtype contract, manifest-dir CSR I/O,
+mmap-backed loading, GraphStore formats, and execution bit-identity.
+
+The contract under test (see the dtype-contract section of
+``repro.graph.csr`` and docs/PERFORMANCE.md): narrowing index storage
+or leaving the arrays disk-resident must never change *what* a run
+computes — states bit-identical, simulated cycles equal — only what it
+costs the host.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make as make_algorithm
+from repro.graph import generators, mutation
+from repro.graph.csr import CSRGraph, narrow_index_dtype
+from repro.graph.io import (
+    CSR_MANIFEST,
+    is_csr_dir,
+    load_csr,
+    load_csr_dir,
+    save_csr,
+    save_csr_dir,
+)
+from repro.hardware.config import HardwareConfig
+from repro.runtime import run as run_system
+from repro.serve.store import GraphDelta, GraphStore
+
+INDEX_NAMES = ("int32", "uint32", "int64")
+WEIGHT_NAMES = (None, "float32", "float64")
+
+
+def small_graph(weighted=True):
+    return generators.power_law(60, 220, seed=11, weighted=weighted)
+
+
+class TestDtypeContract:
+    def test_narrow_index_dtype_thresholds(self):
+        assert narrow_index_dtype(10, 100) == np.dtype(np.int32)
+        assert narrow_index_dtype(0, np.iinfo(np.int32).max) == np.dtype(
+            np.int32
+        )
+        assert narrow_index_dtype(0, np.iinfo(np.int32).max + 1) == np.dtype(
+            np.uint32
+        )
+        assert narrow_index_dtype(0, np.iinfo(np.uint32).max + 1) == np.dtype(
+            np.int64
+        )
+
+    def test_auto_narrows_small_graph(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2)], index_dtype="auto")
+        assert g.index_dtype == np.dtype(np.int32)
+        assert g.offsets.dtype == g.targets.dtype == np.dtype(np.int32)
+
+    def test_none_preserves_admitted_input_dtype(self):
+        offsets = np.array([0, 1, 2], dtype=np.int32)
+        targets = np.array([1, 0], dtype=np.int32)
+        assert CSRGraph(offsets, targets).index_dtype == np.dtype(np.int32)
+
+    def test_legacy_inputs_default_to_int64(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.index_dtype == np.dtype(np.int64)
+
+    def test_inadmissible_dtypes_rejected(self):
+        with pytest.raises(ValueError, match="not admitted"):
+            CSRGraph.from_edges(3, [(0, 1)], index_dtype=np.int16)
+        with pytest.raises(ValueError, match="not admitted"):
+            CSRGraph.from_edges(
+                3, [(0, 1)], weights=[1.0], weight_dtype=np.float16
+            )
+
+    def test_astype_roundtrip_is_equal(self):
+        g = small_graph()
+        narrow = g.astype(index_dtype=np.int32)
+        assert narrow.index_dtype == np.dtype(np.int32)
+        assert narrow == g
+        assert narrow.astype(index_dtype=np.int64) == g
+
+    def test_narrowed_halves_index_bytes(self):
+        g = small_graph(weighted=False)
+        narrow = g.narrowed()
+        assert narrow.index_dtype == np.dtype(np.int32)
+        assert narrow.nbytes * 2 == g.nbytes
+
+    def test_float32_weights_are_an_explicit_opt_in(self):
+        g = small_graph()
+        assert g.weight_dtype == np.dtype(np.float64)
+        opted = g.astype(weight_dtype=np.float32)
+        assert opted.weight_dtype == np.dtype(np.float32)
+        assert np.allclose(opted.weights, g.weights, rtol=1e-6)
+
+    def test_from_edges_accepts_array_likes(self):
+        pairs = np.array([[0, 1], [2, 0], [1, 2]], dtype=np.int64)
+        from_array = CSRGraph.from_edges(3, pairs)
+        from_tuples = CSRGraph.from_edges(3, [(0, 1), (2, 0), (1, 2)])
+        assert from_array == from_tuples
+        weighted = CSRGraph.from_edges(
+            3, pairs, weights=np.array([1.0, 2.0, 3.0])
+        )
+        assert weighted.is_weighted
+
+    def test_from_edges_empty_and_malformed(self):
+        assert CSRGraph.from_edges(4, np.zeros((0, 2))).num_edges == 0
+        with pytest.raises(ValueError, match="pairs"):
+            CSRGraph.from_edges(4, np.zeros((3, 3), dtype=np.int64))
+
+    def test_mutation_preserves_narrow_dtype(self):
+        g = small_graph().narrowed()
+        grown = mutation.add_edges(g, [(0, 59), (59, 0)])
+        assert grown.index_dtype == np.dtype(np.int32)
+        wide = mutation.add_edges(small_graph(), [(0, 59), (59, 0)])
+        assert grown == wide
+
+    def test_permute_and_reverse_preserve_dtype(self):
+        g = small_graph().narrowed()
+        perm = np.roll(np.arange(g.num_vertices), 7)
+        assert g.permute(perm).index_dtype == np.dtype(np.int32)
+        assert g.reverse().index_dtype == np.dtype(np.int32)
+
+
+class TestCSRDirRoundTrip:
+    @pytest.mark.parametrize("index_name", INDEX_NAMES)
+    @pytest.mark.parametrize("weight_name", WEIGHT_NAMES)
+    @pytest.mark.parametrize("mmap", (False, True))
+    def test_roundtrip_matrix(self, tmp_path, index_name, weight_name, mmap):
+        g = small_graph(weighted=weight_name is not None)
+        g = g.astype(index_dtype=index_name, weight_dtype=weight_name)
+        path = tmp_path / "csr"
+        save_csr_dir(g, path)
+        assert is_csr_dir(path)
+        loaded = load_csr_dir(path, mmap=mmap)
+        assert loaded == g
+        assert loaded.index_dtype == np.dtype(index_name)
+        if weight_name is None:
+            assert loaded.weights is None
+        else:
+            assert loaded.weight_dtype == np.dtype(weight_name)
+
+    def test_mmap_arrays_stay_disk_backed(self, tmp_path):
+        g = small_graph().narrowed()
+        save_csr_dir(g, tmp_path / "csr")
+        loaded = load_csr_dir(tmp_path / "csr", mmap=True)
+        for array in (loaded.offsets, loaded.targets, loaded.weights):
+            assert isinstance(array, np.memmap) or isinstance(
+                array.base, np.memmap
+            )
+
+    def test_unknown_format_rejected(self, tmp_path):
+        g = small_graph()
+        save_csr_dir(g, tmp_path / "csr")
+        manifest_path = tmp_path / "csr" / CSR_MANIFEST
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["format"] = 99
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(ValueError, match="unsupported CSR dir format"):
+            load_csr_dir(tmp_path / "csr")
+
+    def test_manifest_mismatch_rejected(self, tmp_path):
+        g = small_graph()
+        save_csr_dir(g, tmp_path / "csr")
+        manifest_path = tmp_path / "csr" / CSR_MANIFEST
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["num_edges"] = g.num_edges + 1
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(ValueError, match="does not match its manifest"):
+            load_csr_dir(tmp_path / "csr")
+
+    def test_legacy_npz_still_roundtrips(self, tmp_path):
+        g = small_graph()
+        save_csr(g, tmp_path / "g.npz")
+        assert load_csr(tmp_path / "g.npz") == g
+
+
+class TestGraphStoreFormats:
+    @pytest.mark.parametrize("mmap", (False, True))
+    def test_format2_roundtrip(self, tmp_path, mmap):
+        store = GraphStore(small_graph().narrowed())
+        store.apply(GraphDelta(add_edges=((0, 59), (59, 3))))
+        store.apply(GraphDelta(remove_edges=((0, 59),)))
+        store.save(tmp_path / "store")
+        loaded = GraphStore.load(tmp_path / "store", mmap=mmap)
+        assert len(loaded) == len(store)
+        for version in range(store.latest_version + 1):
+            assert loaded.get(version).graph == store.get(version).graph
+
+    def test_format2_base_is_a_manifest_dir(self, tmp_path):
+        store = GraphStore(small_graph())
+        store.save(tmp_path / "store")
+        assert is_csr_dir(tmp_path / "store" / "base")
+        manifest = json.loads(
+            (tmp_path / "store" / "manifest.json").read_text(encoding="utf-8")
+        )
+        assert manifest["format"] == 2
+
+    def test_mutation_on_mmap_loaded_store(self, tmp_path):
+        store = GraphStore(small_graph().narrowed())
+        store.save(tmp_path / "store")
+        loaded = GraphStore.load(tmp_path / "store", mmap=True)
+        version = loaded.apply(GraphDelta(add_edges=((1, 2), (2, 1))))
+        assert version.graph.num_edges >= loaded.get(0).graph.num_edges
+        assert loaded.compact(keep_last=0) == 1
+
+    def test_legacy_format1_store_loads(self, tmp_path):
+        g = small_graph()
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        save_csr(g, store_dir / "base.npz")
+        (store_dir / "manifest.json").write_text(
+            json.dumps(
+                {
+                    "format": 1,
+                    "base_version": 0,
+                    "num_versions": 1,
+                    "deltas": [],
+                }
+            ),
+            encoding="utf-8",
+        )
+        loaded = GraphStore.load(store_dir)
+        assert loaded.latest.graph == g
+
+    def test_unknown_store_format_rejected(self, tmp_path):
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        (store_dir / "manifest.json").write_text(
+            json.dumps({"format": 42}), encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match="unsupported graph store"):
+            GraphStore.load(store_dir)
+
+
+class TestExecutionBitIdentity:
+    """Narrow + mmap'd runs must be indistinguishable from the seed's
+    int64 in-RAM runs: bit-identical states, equal simulated cycles."""
+
+    @pytest.mark.parametrize("backend", ("scalar", "vector"))
+    @pytest.mark.parametrize("algorithm", ("pagerank", "sssp"))
+    def test_mmap_narrow_matches_ram_int64(self, tmp_path, backend, algorithm):
+        g = generators.power_law(48, 180, seed=5, weighted=True)
+        save_csr_dir(g.narrowed(), tmp_path / "csr")
+        mapped = load_csr_dir(tmp_path / "csr", mmap=True)
+        baseline = g.astype(index_dtype=np.int64)
+        hardware = HardwareConfig.scaled(num_cores=4)
+        kwargs = dict(max_rounds=600, backend=backend)
+        want = run_system(
+            "depgraph-h", baseline, make_algorithm(algorithm), hardware,
+            **kwargs,
+        )
+        got = run_system(
+            "depgraph-h", mapped, make_algorithm(algorithm), hardware,
+            **kwargs,
+        )
+        assert np.array_equal(
+            np.asarray(want.states, dtype=np.float64),
+            np.asarray(got.states, dtype=np.float64),
+        )
+        assert want.cycles == got.cycles
+        assert want.rounds == got.rounds
